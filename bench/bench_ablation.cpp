@@ -1,0 +1,98 @@
+// Ablation study (beyond the paper's tables, motivated by its §V):
+// which ingredient of the Context-Aware attack buys what?
+//   A. full Context-Aware (context trigger + latched duration + strategic values)
+//   B. context trigger, random duration (paper's Random-DUR)
+//   C. random trigger, driver-reaction-length duration (paper's Random-ST)
+//   D. full CA but fixed (loud) values -> alert/detection cost
+// plus a driver-reaction-time sensitivity sweep for the CA attack.
+//
+// Usage: bench_ablation [--reps N] [--threads N]
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "exp/campaign.hpp"
+#include "util/table.hpp"
+
+using namespace scaa;
+
+namespace {
+
+exp::Aggregate run_config(attack::StrategyKind kind, bool strategic, int reps,
+                          std::size_t threads, double reaction_time) {
+  auto grid = exp::make_grid(kind, strategic, /*driver=*/true, reps, 4242);
+  exp::CampaignConfig cc;
+  cc.threads = threads;
+  // Apply the reaction-time override by running items manually.
+  std::vector<exp::CampaignResult> results(grid.size());
+  exp::ThreadPool pool(threads);
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    pool.submit([&grid, &results, reaction_time, i] {
+      sim::WorldConfig wc = exp::world_config_for(grid[i]);
+      wc.driver.reaction_time = reaction_time;
+      sim::World world(std::move(wc));
+      results[i] = {grid[i], world.run()};
+    });
+  }
+  pool.wait_idle();
+  return exp::aggregate(results);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int reps = 10;
+  std::size_t threads = 0;
+  for (int i = 1; i < argc - 1; ++i) {
+    if (std::strcmp(argv[i], "--reps") == 0) reps = std::atoi(argv[i + 1]);
+    if (std::strcmp(argv[i], "--threads") == 0)
+      threads = static_cast<std::size_t>(std::atoi(argv[i + 1]));
+  }
+  if (reps < 1) reps = 1;
+
+  std::printf("ABLATION 1: which ingredient of the Context-Aware attack "
+              "matters?\n\n");
+  util::TextTable t1;
+  t1.set_header({"Variant", "Hazards", "Accidents", "Alerts",
+                 "Hazards&NoAlerts"});
+  struct Variant {
+    const char* name;
+    attack::StrategyKind kind;
+    bool strategic;
+  };
+  const Variant variants[] = {
+      {"A: full Context-Aware", attack::StrategyKind::kContextAware, true},
+      {"B: ctx start, random dur", attack::StrategyKind::kRandomDur, false},
+      {"C: random start, 2.5s dur", attack::StrategyKind::kRandomSt, false},
+      {"D: CA timing, loud values", attack::StrategyKind::kContextAware,
+       false},
+  };
+  for (const auto& v : variants) {
+    const auto a = run_config(v.kind, v.strategic, reps, threads, 2.5);
+    t1.add_row({v.name,
+                util::format_count_percent(a.sims_with_hazards, a.simulations),
+                util::format_count_percent(a.sims_with_accidents, a.simulations),
+                util::format_count_percent(a.sims_with_alerts, a.simulations),
+                util::format_count_percent(a.hazards_without_alerts,
+                                           a.simulations)});
+    std::fprintf(stderr, "[ablation] %s done\n", v.name);
+  }
+  std::printf("%s\n", t1.render().c_str());
+
+  std::printf("ABLATION 2: Context-Aware hazard rate vs. driver reaction "
+              "time\n\n");
+  util::TextTable t2;
+  t2.set_header({"Reaction time [s]", "Hazards", "Accidents"});
+  for (const double rt : {1.0, 1.5, 2.0, 2.5, 3.0, 3.5}) {
+    const auto a = run_config(attack::StrategyKind::kContextAware, true, reps,
+                              threads, rt);
+    t2.add_row({util::format_double(rt, 1),
+                util::format_count_percent(a.sims_with_hazards, a.simulations),
+                util::format_count_percent(a.sims_with_accidents,
+                                           a.simulations)});
+    std::fprintf(stderr, "[ablation] reaction %.1f s done\n", rt);
+  }
+  std::printf("%s\n", t2.render().c_str());
+  return 0;
+}

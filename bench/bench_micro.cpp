@@ -1,0 +1,99 @@
+// Component microbenchmarks (google-benchmark): CAN codec, pub/sub,
+// Kalman filters, and the full world step — the numbers that justify
+// running 19k+ simulations per table.
+
+#include <benchmark/benchmark.h>
+
+#include "adas/kalman.hpp"
+#include "can/packer.hpp"
+#include "exp/campaign.hpp"
+#include "msg/bus.hpp"
+#include "sim/world.hpp"
+
+using namespace scaa;
+
+namespace {
+
+void BM_CanPack(benchmark::State& state) {
+  const auto db = can::Database::simulated_car();
+  can::CanPacker packer(db);
+  double angle = 0.0;
+  for (auto _ : state) {
+    angle += 0.001;
+    auto frame = packer.pack("STEERING_CONTROL",
+                             {{can::sig::kSteerAngleCmd, angle},
+                              {can::sig::kSteerEnabled, 1.0}});
+    benchmark::DoNotOptimize(frame);
+  }
+}
+BENCHMARK(BM_CanPack);
+
+void BM_CanParse(benchmark::State& state) {
+  const auto db = can::Database::simulated_car();
+  can::CanPacker packer(db);
+  can::CanParser parser(db);
+  const auto frame = packer.pack("STEERING_CONTROL",
+                                 {{can::sig::kSteerAngleCmd, 0.42},
+                                  {can::sig::kSteerEnabled, 1.0}});
+  for (auto _ : state) {
+    auto parsed = parser.parse(frame);
+    benchmark::DoNotOptimize(parsed);
+  }
+}
+BENCHMARK(BM_CanParse);
+
+void BM_PubSubRoundtrip(benchmark::State& state) {
+  msg::PubSubBus bus;
+  msg::Latest<msg::RadarState> latest(bus);
+  msg::RadarState m;
+  m.lead_valid = true;
+  m.lead_distance = 42.0;
+  for (auto _ : state) {
+    bus.publish(m);
+    benchmark::DoNotOptimize(latest.value());
+  }
+}
+BENCHMARK(BM_PubSubRoundtrip);
+
+void BM_Kalman2D(benchmark::State& state) {
+  adas::Kalman2D kf(6.0, 0.0625, 0.0144);
+  kf.init(100.0, -10.0);
+  double z = 100.0;
+  for (auto _ : state) {
+    z -= 0.1;
+    kf.predict(0.01);
+    kf.update(z, -10.0);
+    benchmark::DoNotOptimize(kf.value());
+  }
+}
+BENCHMARK(BM_Kalman2D);
+
+void BM_WorldStep(benchmark::State& state) {
+  exp::CampaignItem item;
+  item.strategy = attack::StrategyKind::kContextAware;
+  item.type = attack::AttackType::kAcceleration;
+  item.seed = 5;
+  sim::World world(exp::world_config_for(item));
+  for (auto _ : state) {
+    if (!world.step()) state.SkipWithError("simulation ended");
+  }
+}
+BENCHMARK(BM_WorldStep);
+
+void BM_FullSimulation(benchmark::State& state) {
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    exp::CampaignItem item;
+    item.strategy = attack::StrategyKind::kContextAware;
+    item.type = attack::AttackType::kSteeringRight;
+    item.seed = seed++;
+    sim::World world(exp::world_config_for(item));
+    auto summary = world.run();
+    benchmark::DoNotOptimize(summary);
+  }
+}
+BENCHMARK(BM_FullSimulation)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

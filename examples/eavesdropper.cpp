@@ -1,0 +1,65 @@
+// Eavesdropping demo (paper Fig. 3): a malicious subscriber joins the
+// cereal-like messaging bus with no authentication and reconstructs the
+// safety context (headway time, relative speed, lane-edge distances) in
+// real time while the ADAS drives. Nothing is injected — this is the
+// reconnaissance stage of the attack.
+
+#include <cstdio>
+
+#include "attack/context.hpp"
+#include "attack/context_table.hpp"
+#include "exp/campaign.hpp"
+#include "sim/world.hpp"
+
+using namespace scaa;
+
+int main() {
+  exp::CampaignItem item;
+  item.strategy = attack::StrategyKind::kNone;  // nobody injects; we only listen
+  item.scenario_id = 3;                          // lead slows 50 -> 35 mph
+  item.initial_gap = 70.0;
+  item.seed = 99;
+
+  sim::World world(exp::world_config_for(item));
+
+  // The "malware": subscribes exactly like any legitimate module would.
+  // This is the same class the real attack engine uses internally.
+  attack::ContextInference spy(world.message_bus(), /*half_width=*/0.9);
+  attack::ContextTable table{attack::ContextTableParams{}};
+
+  // Also count raw frames to show the fidelity of the tap.
+  std::uint64_t gps_frames = 0, model_frames = 0, radar_frames = 0;
+  world.message_bus().subscribe_raw(
+      msg::Topic::kGpsLocationExternal,
+      [&](const msg::WireFrame&) { ++gps_frames; });
+  world.message_bus().subscribe_raw(
+      msg::Topic::kModelV2, [&](const msg::WireFrame&) { ++model_frames; });
+  world.message_bus().subscribe_raw(
+      msg::Topic::kRadarState, [&](const msg::WireFrame&) { ++radar_frames; });
+
+  std::printf("%-6s %-8s %-8s %-8s %-8s %-8s %s\n", "t[s]", "v[mph]",
+              "HWT[s]", "RS[m/s]", "dL[m]", "dR[m]", "unsafe-actions-enabled");
+  int steps = 0;
+  while (world.step()) {
+    if (++steps % 500 != 0) continue;  // print every 5 s
+    const auto ctx = spy.infer(world.time());
+    const auto match = table.match(ctx);
+    std::string actions;
+    using attack::UnsafeAction;
+    if (match.enabled(UnsafeAction::kAcceleration)) actions += "u1:Accel ";
+    if (match.enabled(UnsafeAction::kDeceleration)) actions += "u2:Decel ";
+    if (match.enabled(UnsafeAction::kSteerLeft)) actions += "u3:SteerL ";
+    if (match.enabled(UnsafeAction::kSteerRight)) actions += "u4:SteerR ";
+    if (actions.empty()) actions = "-";
+    std::printf("%-6.1f %-8.1f %-8.2f %-8.2f %-8.2f %-8.2f %s\n", ctx.time,
+                ctx.speed * 2.23694, ctx.hwt > 1e8 ? -1.0 : ctx.hwt,
+                ctx.rel_speed, ctx.d_left, ctx.d_right, actions.c_str());
+  }
+
+  std::printf("\neavesdropped frames: gps=%llu modelV2=%llu radarState=%llu "
+              "(no credentials required)\n",
+              static_cast<unsigned long long>(gps_frames),
+              static_cast<unsigned long long>(model_frames),
+              static_cast<unsigned long long>(radar_frames));
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Quickstart: run one attack-free simulation and one Context-Aware attack
+// simulation on scenario S1, and print what happened.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "exp/campaign.hpp"
+#include "sim/world.hpp"
+
+using namespace scaa;
+
+namespace {
+
+void print_summary(const char* label, const sim::SimulationSummary& s) {
+  std::printf("=== %s ===\n", label);
+  std::printf("  simulated time        : %.1f s\n", s.sim_end_time);
+  std::printf("  hazards               : %s", s.any_hazard ? "" : "none\n");
+  if (s.any_hazard)
+    std::printf("first %s at %.2f s\n",
+                attack::to_string(s.first_hazard).c_str(),
+                s.first_hazard_time);
+  std::printf("  accidents             : %s\n",
+              s.any_accident ? sim::to_string(s.first_accident).c_str()
+                             : "none");
+  std::printf("  alerts (events)       : %llu (steerSaturated %llu, FCW %llu)\n",
+              static_cast<unsigned long long>(s.alert_events),
+              static_cast<unsigned long long>(s.steer_saturated_events),
+              static_cast<unsigned long long>(s.fcw_events));
+  std::printf("  lane invasions        : %llu (%.2f events/s)\n",
+              static_cast<unsigned long long>(s.lane_invasions),
+              s.lane_invasion_rate);
+  if (s.attack_activated) {
+    std::printf("  attack window         : starts %.2f s, active %.2f s\n",
+                s.attack_start, s.attack_duration);
+    if (s.tth >= 0.0) std::printf("  time-to-hazard (TTH)  : %.2f s\n", s.tth);
+    std::printf("  CAN frames corrupted  : %llu\n",
+                static_cast<unsigned long long>(s.frames_corrupted));
+  }
+  if (s.driver_engaged)
+    std::printf("  driver engaged        : %.2f s (perceived %.2f s)\n",
+                s.driver_engage_time, s.driver_perception_time);
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  // 1) Baseline: ADAS drives scenario S1 (lead at 35 mph, 100 m ahead)
+  //    with no attack.
+  exp::CampaignItem baseline;
+  baseline.strategy = attack::StrategyKind::kNone;
+  baseline.scenario_id = 1;
+  baseline.initial_gap = 100.0;
+  baseline.seed = 42;
+  {
+    sim::World world(exp::world_config_for(baseline));
+    print_summary("No attack, S1", world.run());
+  }
+
+  // 2) Context-Aware Acceleration attack with strategic value corruption.
+  exp::CampaignItem attack_item = baseline;
+  attack_item.strategy = attack::StrategyKind::kContextAware;
+  attack_item.type = attack::AttackType::kAcceleration;
+  attack_item.strategic_values = true;
+  {
+    sim::World world(exp::world_config_for(attack_item));
+    print_summary("Context-Aware Acceleration attack, S1", world.run());
+  }
+
+  // 3) Same attack but the steering variant — typically causes a roadside
+  //    collision faster than the driver can react.
+  attack_item.type = attack::AttackType::kSteeringRight;
+  {
+    sim::World world(exp::world_config_for(attack_item));
+    print_summary("Context-Aware Steering-Right attack, S1", world.run());
+  }
+  return 0;
+}

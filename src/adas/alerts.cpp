@@ -1,0 +1,22 @@
+#include "adas/alerts.hpp"
+
+namespace scaa::adas {
+
+AlertKind AlertManager::update(const AlertInputs& inputs) noexcept {
+  // FCW: commanded braking beyond the warning threshold with a lead ahead.
+  // The command path clamps decel below this threshold, so in practice the
+  // warning never fires — reproducing the paper's Observation 2.
+  const bool fcw_now =
+      inputs.lead_valid && inputs.brake_cmd >= inputs.fcw_brake_threshold;
+  if (fcw_now && !fcw_active_) ++fcw_events_;
+  fcw_active_ = fcw_now;
+
+  if (inputs.steer_saturated && !saturated_active_) ++saturated_events_;
+  saturated_active_ = inputs.steer_saturated;
+
+  if (fcw_active_) return AlertKind::kFcw;
+  if (saturated_active_) return AlertKind::kSteerSaturated;
+  return AlertKind::kNone;
+}
+
+}  // namespace scaa::adas

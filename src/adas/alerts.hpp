@@ -1,0 +1,54 @@
+#pragma once
+
+/// @file alerts.hpp
+/// ADAS alert generation: steerSaturated and Forward Collision Warning.
+
+#include <cstdint>
+
+namespace scaa::adas {
+
+/// Kinds of alerts the ADAS can raise.
+enum class AlertKind : std::uint8_t {
+  kNone = 0,
+  kSteerSaturated,
+  kFcw,
+};
+
+/// Inputs evaluated each control cycle.
+struct AlertInputs {
+  bool steer_saturated = false;  ///< sustained saturation from TorqueController
+  double brake_cmd = 0.0;        ///< commanded decel magnitude [m/s^2], >= 0
+  bool lead_valid = false;
+  double fcw_brake_threshold = 4.5;  ///< from SafetyLimits::fcw_brake
+};
+
+/// Edge-triggered alert bookkeeping: an "alert event" is counted when an
+/// alert condition turns on (matching how the paper counts alerts per
+/// simulation).
+class AlertManager {
+ public:
+  /// Evaluate one control cycle; returns the alert active this cycle.
+  AlertKind update(const AlertInputs& inputs) noexcept;
+
+  /// Events since construction.
+  std::uint64_t steer_saturated_events() const noexcept { return saturated_events_; }
+  std::uint64_t fcw_events() const noexcept { return fcw_events_; }
+  std::uint64_t total_events() const noexcept {
+    return saturated_events_ + fcw_events_;
+  }
+
+  /// Level-state of the alerts this cycle.
+  bool steer_saturated_active() const noexcept { return saturated_active_; }
+  bool fcw_active() const noexcept { return fcw_active_; }
+  bool any_active() const noexcept {
+    return saturated_active_ || fcw_active_;
+  }
+
+ private:
+  bool saturated_active_ = false;
+  bool fcw_active_ = false;
+  std::uint64_t saturated_events_ = 0;
+  std::uint64_t fcw_events_ = 0;
+};
+
+}  // namespace scaa::adas

@@ -1,0 +1,105 @@
+#include "adas/controls.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/units.hpp"
+
+namespace scaa::adas {
+
+Controls::Controls(msg::PubSubBus& bus, can::CanBus& can_bus,
+                   const can::Database& db, ControlsConfig config,
+                   const vehicle::VehicleParams& params, util::Rng rng)
+    : bus_(&bus),
+      can_bus_(&can_bus),
+      config_(config),
+      model_(bus),
+      radar_(bus),
+      car_state_(bus),
+      lateral_planner_(config.lateral, rng),
+      longitudinal_planner_(config.acc),
+      torque_controller_(config.steer, params),
+      long_control_(config.longitudinal),
+      packer_(db) {}
+
+ControlsOutput Controls::step(std::uint64_t step_index, double dt) {
+  ControlsOutput out;
+  out.engaged = engaged_;
+
+  // --- estimation ---
+  lead_tracker_.predict(dt);
+  if (radar_.updates() != last_radar_seq_) {
+    last_radar_seq_ = radar_.updates();
+    lead_tracker_.update(radar_.value());
+  }
+
+  const double ego_speed =
+      car_state_.valid() ? car_state_.value().speed : 0.0;
+
+  // --- planning ---
+  if (model_.updates() != last_model_seq_) {
+    last_model_seq_ = model_.updates();
+    // Lateral planning runs at the camera rate; dt between model frames.
+    lateral_planner_.update(model_.value(), 0.05, ego_speed);
+  }
+  const LeadEstimate lead = lead_tracker_.estimate();
+  const LongitudinalPlan long_plan = longitudinal_planner_.update(
+      ego_speed, config_.cruise_speed, lead);
+
+  // --- control ---
+  double steer_cmd = 0.0;
+  double accel_cmd = 0.0;
+  if (engaged_) {
+    steer_cmd = torque_controller_.update(
+        lateral_planner_.plan().desired_curvature,
+        lateral_planner_.plan().raw_curvature, dt);
+    accel_cmd = long_control_.update(long_plan.accel, dt);
+  } else {
+    long_control_.reset(0.0);
+  }
+
+  // --- safety clamp (last software stage) ---
+  const vehicle::ActuatorCommand clamped =
+      clamp_to_limits({accel_cmd, steer_cmd}, config_.limits);
+  out.accel_cmd = clamped.accel;
+  out.steer_angle_cmd = clamped.steer_angle;
+
+  // --- alerts ---
+  AlertInputs alert_in;
+  alert_in.steer_saturated = engaged_ && torque_controller_.saturated();
+  alert_in.brake_cmd = std::max(0.0, -clamped.accel);
+  alert_in.lead_valid = lead.valid;
+  alert_in.fcw_brake_threshold = config_.limits.fcw_brake;
+  out.alert = alert_manager_.update(alert_in);
+
+  // --- publish state ---
+  msg::CarControl cc;
+  cc.mono_time = step_index;
+  cc.enabled = engaged_;
+  cc.accel = clamped.accel;
+  cc.steer_angle = clamped.steer_angle;
+  bus_->publish(cc);
+
+  msg::ControlsState cs;
+  cs.mono_time = step_index;
+  cs.active = engaged_;
+  cs.steer_saturated = alert_manager_.steer_saturated_active();
+  cs.fcw = alert_manager_.fcw_active();
+  cs.alert_count = static_cast<std::uint32_t>(alert_manager_.total_events());
+  bus_->publish(cs);
+
+  // --- encode actuator commands onto the CAN bus ---
+  // Wire units: centi-degrees for steering, milli-m/s^2 for acceleration.
+  can_bus_->send(packer_.pack(
+      "STEERING_CONTROL",
+      {{can::sig::kSteerAngleCmd, units::rad_to_deg(clamped.steer_angle)},
+       {can::sig::kSteerEnabled, engaged_ ? 1.0 : 0.0}}));
+  can_bus_->send(packer_.pack(
+      "GAS_BRAKE_COMMAND",
+      {{can::sig::kAccelCmd, clamped.accel},
+       {can::sig::kBrakeRequest, clamped.accel < 0.0 ? 1.0 : 0.0}}));
+
+  return out;
+}
+
+}  // namespace scaa::adas

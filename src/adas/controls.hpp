@@ -1,0 +1,91 @@
+#pragma once
+
+/// @file controls.hpp
+/// The 100 Hz control daemon ("controlsd"): glues perception, planning,
+/// control, safety and alerting together, and encodes actuator commands
+/// onto the CAN bus.
+
+#include <cstdint>
+#include <memory>
+
+#include "adas/alerts.hpp"
+#include "adas/lateral_planner.hpp"
+#include "adas/lead_tracker.hpp"
+#include "adas/long_control.hpp"
+#include "adas/longitudinal_planner.hpp"
+#include "adas/safety_model.hpp"
+#include "adas/torque_controller.hpp"
+#include "can/bus.hpp"
+#include "can/packer.hpp"
+#include "msg/bus.hpp"
+
+namespace scaa::adas {
+
+/// Aggregate configuration of the control stack.
+struct ControlsConfig {
+  AccConfig acc;
+  LateralPlannerConfig lateral;
+  SteerConfig steer;
+  LongControlConfig longitudinal;
+  SafetyLimits limits;
+  double cruise_speed = 26.82;  ///< [m/s] = 60 mph set speed
+};
+
+/// One control cycle's externally visible outputs (for the world loop and
+/// for tests).
+struct ControlsOutput {
+  double accel_cmd = 0.0;       ///< [m/s^2] post-safety-clamp
+  double steer_angle_cmd = 0.0; ///< [rad]
+  AlertKind alert = AlertKind::kNone;
+  bool engaged = false;
+};
+
+/// The control stack. Consumes sensor messages from the pub/sub bus,
+/// publishes carControl/controlsState, and emits STEERING_CONTROL and
+/// GAS_BRAKE_COMMAND frames on the CAN bus every cycle.
+class Controls {
+ public:
+  /// All dependencies are borrowed and must outlive the Controls instance.
+  /// @p rng seeds the lateral planner's path-prediction wander.
+  Controls(msg::PubSubBus& bus, can::CanBus& can_bus,
+           const can::Database& db, ControlsConfig config,
+           const vehicle::VehicleParams& params, util::Rng rng);
+
+  /// Run one 100 Hz cycle. @p step_index stamps outgoing messages.
+  ControlsOutput step(std::uint64_t step_index, double dt);
+
+  /// Engage/disengage the ADAS (cruise main switch).
+  void set_engaged(bool engaged) noexcept { engaged_ = engaged; }
+  bool engaged() const noexcept { return engaged_; }
+
+  /// Alert statistics.
+  const AlertManager& alerts() const noexcept { return alert_manager_; }
+
+  /// Component access for white-box tests.
+  const LeadTracker& lead_tracker() const noexcept { return lead_tracker_; }
+  const LateralPlanner& lateral_planner() const noexcept { return lateral_planner_; }
+  const ControlsConfig& config() const noexcept { return config_; }
+
+ private:
+  msg::PubSubBus* bus_;
+  can::CanBus* can_bus_;
+  ControlsConfig config_;
+
+  msg::Latest<msg::ModelV2> model_;
+  msg::Latest<msg::RadarState> radar_;
+  msg::Latest<msg::CarState> car_state_;
+
+  LeadTracker lead_tracker_;
+  LateralPlanner lateral_planner_;
+  LongitudinalPlanner longitudinal_planner_;
+  TorqueController torque_controller_;
+  LongControl long_control_;
+  AlertManager alert_manager_;
+  can::CanPacker packer_;
+
+  std::uint64_t last_radar_seq_ = 0;
+  std::uint64_t last_model_seq_ = 0;
+  bool engaged_ = true;
+};
+
+}  // namespace scaa::adas

@@ -1,0 +1,72 @@
+#include "adas/kalman.hpp"
+
+namespace scaa::adas {
+
+Kalman2D::Kalman2D(double process_noise, double meas_noise_value,
+                   double meas_noise_rate) noexcept
+    : q_(process_noise), r_value_(meas_noise_value), r_rate_(meas_noise_rate) {}
+
+void Kalman2D::init(double value, double rate) noexcept {
+  x_ = {value, rate};
+  p_ = {{{4.0, 0.0}, {0.0, 4.0}}};
+  initialized_ = true;
+}
+
+void Kalman2D::predict(double dt) noexcept {
+  if (!initialized_) return;
+  // x = F x with F = [[1, dt], [0, 1]]
+  x_[0] += x_[1] * dt;
+  // P = F P F' + Q, Q from white-accel model.
+  const double p00 = p_[0][0] + dt * (p_[1][0] + p_[0][1]) + dt * dt * p_[1][1];
+  const double p01 = p_[0][1] + dt * p_[1][1];
+  const double p10 = p_[1][0] + dt * p_[1][1];
+  const double p11 = p_[1][1];
+  const double dt2 = dt * dt;
+  p_[0][0] = p00 + 0.25 * dt2 * dt2 * q_;
+  p_[0][1] = p01 + 0.5 * dt * dt2 * q_;
+  p_[1][0] = p10 + 0.5 * dt * dt2 * q_;
+  p_[1][1] = p11 + dt2 * q_;
+}
+
+void Kalman2D::update(double value, double rate) noexcept {
+  if (!initialized_) {
+    init(value, rate);
+    return;
+  }
+  // Sequential scalar updates (H rows are orthogonal unit vectors, so this
+  // is exact and avoids a 2x2 inversion).
+  update_value_only(value);
+  // Rate measurement: H = [0 1].
+  const double s = p_[1][1] + r_rate_;
+  const double k0 = p_[0][1] / s;
+  const double k1 = p_[1][1] / s;
+  const double innovation = rate - x_[1];
+  x_[0] += k0 * innovation;
+  x_[1] += k1 * innovation;
+  const double p00 = p_[0][0] - k0 * p_[1][0];
+  const double p01 = p_[0][1] - k0 * p_[1][1];
+  const double p10 = p_[1][0] - k1 * p_[1][0];
+  const double p11 = p_[1][1] - k1 * p_[1][1];
+  p_ = {{{p00, p01}, {p10, p11}}};
+}
+
+void Kalman2D::update_value_only(double value) noexcept {
+  if (!initialized_) {
+    init(value, 0.0);
+    return;
+  }
+  // H = [1 0].
+  const double s = p_[0][0] + r_value_;
+  const double k0 = p_[0][0] / s;
+  const double k1 = p_[1][0] / s;
+  const double innovation = value - x_[0];
+  x_[0] += k0 * innovation;
+  x_[1] += k1 * innovation;
+  const double p00 = p_[0][0] - k0 * p_[0][0];
+  const double p01 = p_[0][1] - k0 * p_[0][1];
+  const double p10 = p_[1][0] - k1 * p_[0][0];
+  const double p11 = p_[1][1] - k1 * p_[0][1];
+  p_ = {{{p00, p01}, {p10, p11}}};
+}
+
+}  // namespace scaa::adas

@@ -1,0 +1,80 @@
+#pragma once
+
+/// @file kalman.hpp
+/// Kalman filters used by state estimation (and by the attacker's speed
+/// prediction, paper Eq. 2-3).
+
+#include <array>
+
+namespace scaa::adas {
+
+/// Scalar filter with a constant Kalman gain, exactly the paper's Eq. 2-3:
+///   prediction: x̂_{t+1|t} = x̂_t + u * dt
+///   update:     x̂_{t+1}  = x̂_{t+1|t} + K (z_{t+1} - x̂_{t+1|t})
+/// Used by the attack engine to predict Ego speed one step ahead while
+/// choosing corruption values.
+class ConstantGainKalman {
+ public:
+  /// @p gain is the fixed Kalman gain K in (0, 1].
+  explicit ConstantGainKalman(double gain, double initial = 0.0) noexcept
+      : gain_(gain), estimate_(initial) {}
+
+  /// Predict one step ahead under control input @p rate (dx/dt) — Eq. 2.
+  double predict(double rate, double dt) const noexcept {
+    return estimate_ + rate * dt;
+  }
+
+  /// Fold in a measurement after the prediction — Eq. 3. Returns the new
+  /// estimate.
+  double update(double predicted, double measurement) noexcept {
+    estimate_ = predicted + gain_ * (measurement - predicted);
+    return estimate_;
+  }
+
+  /// Current estimate.
+  double estimate() const noexcept { return estimate_; }
+
+  /// Reset the estimate.
+  void reset(double value) noexcept { estimate_ = value; }
+
+ private:
+  double gain_;
+  double estimate_;
+};
+
+/// Two-state (value, rate) constant-velocity Kalman filter with full
+/// covariance propagation. Used by the lead tracker to smooth radar range
+/// and range rate.
+class Kalman2D {
+ public:
+  /// @p process_noise: continuous white acceleration PSD (q).
+  /// @p meas_noise_value / @p meas_noise_rate: measurement variances.
+  Kalman2D(double process_noise, double meas_noise_value,
+           double meas_noise_rate) noexcept;
+
+  /// Initialize state and covariance from a first measurement.
+  void init(double value, double rate) noexcept;
+
+  /// Time update over @p dt seconds.
+  void predict(double dt) noexcept;
+
+  /// Measurement update with value + rate observation.
+  void update(double value, double rate) noexcept;
+
+  /// Measurement update with only a value observation.
+  void update_value_only(double value) noexcept;
+
+  double value() const noexcept { return x_[0]; }
+  double rate() const noexcept { return x_[1]; }
+  bool initialized() const noexcept { return initialized_; }
+
+ private:
+  double q_;
+  double r_value_;
+  double r_rate_;
+  std::array<double, 2> x_{};            ///< state [value, rate]
+  std::array<std::array<double, 2>, 2> p_{};  ///< covariance
+  bool initialized_ = false;
+};
+
+}  // namespace scaa::adas

@@ -1,0 +1,88 @@
+#include "adas/lateral_planner.hpp"
+
+#include <cmath>
+
+#include "util/math.hpp"
+
+namespace scaa::adas {
+
+LateralPlan LateralPlanner::update(const msg::ModelV2& model, double dt,
+                                   double ego_speed) noexcept {
+  const bool valid = model.left_lane_line >= model.right_lane_line &&
+                     model.left_line_prob >= config_.min_line_prob &&
+                     model.right_line_prob >= config_.min_line_prob;
+  if (!valid) {
+    // Lanes lost: decay the plan toward pure curvature feed-forward so a
+    // stale correction cannot steer the car further out.
+    plan_.lines_valid = false;
+    plan_.desired_curvature = math::lowpass(
+        plan_.desired_curvature, filtered_curvature_, config_.invalid_decay);
+    plan_.raw_curvature = plan_.desired_curvature;
+    return plan_;
+  }
+
+  // Perceived offset from the lane centre (+left of centre): the centre
+  // sits at the mean of the two line offsets; if the centre is to our left
+  // (positive), we are right of centre (negative offset).
+  const double center = 0.5 * (model.left_lane_line + model.right_lane_line);
+  const double offset = -center;
+
+  if (!has_state_) {
+    filtered_offset_ = offset;
+    filtered_curvature_ = model.path_curvature;
+    has_state_ = true;
+  } else {
+    filtered_offset_ =
+        math::lowpass(filtered_offset_, offset, config_.offset_filter);
+    filtered_curvature_ = math::lowpass(
+        filtered_curvature_, model.path_curvature, config_.curvature_filter);
+  }
+
+  // Path-prediction wander: OU bias plus the outside-of-curve pull. This is
+  // where the planner *chooses* to sit relative to the lane centre.
+  if (dt > 0.0) {
+    const double theta = 1.0 / config_.target_bias_tc;
+    const double diffusion =
+        config_.target_bias_std * std::sqrt(2.0 * theta * dt);
+    target_bias_ +=
+        -theta * target_bias_ * dt + rng_.gaussian(0.0, diffusion);
+  }
+  // The wander is bounded: the planner may aim off-centre but never at a
+  // lane line itself.
+  target_offset_ = math::clamp(
+      target_bias_ - config_.curve_target_gain * filtered_curvature_, -1.0,
+      1.0);
+
+  // Gain schedule: feedback curvature authority shrinks with speed^2 (the
+  // same lateral acceleration budget at any speed), keeping the loop
+  // crossover — and therefore stability margins — speed-invariant.
+  const double v = std::max(ego_speed, 3.0);
+  const double kd_scale = std::min(
+      1.0, (config_.gain_ref_speed / v) * (config_.gain_ref_speed / v));
+  const double kh_scale = std::min(1.0, config_.gain_ref_speed / v);
+
+  // Edge authority: additional restoring curvature beyond edge_start,
+  // measured against the TRUE lane centre (the edge is where the lines
+  // are, regardless of where the planner wants to sit).
+  const double excess =
+      std::max(0.0, std::abs(filtered_offset_) - config_.edge_start);
+  const double edge_term =
+      config_.edge_gain * kd_scale * excess * math::sign(filtered_offset_);
+
+  const double raw = filtered_curvature_
+                     - config_.offset_gain * kd_scale *
+                           (filtered_offset_ - target_offset_)
+                     - edge_term
+                     + config_.heading_gain * kh_scale *
+                           model.path_heading_error;
+  const double curvature =
+      math::clamp(raw, -config_.max_curvature, config_.max_curvature);
+
+  plan_.raw_curvature = raw;
+  plan_.desired_curvature = curvature;
+  plan_.center_offset = offset;
+  plan_.lines_valid = true;
+  return plan_;
+}
+
+}  // namespace scaa::adas

@@ -1,0 +1,33 @@
+#include "adas/lead_tracker.hpp"
+
+namespace scaa::adas {
+
+LeadTracker::LeadTracker() noexcept
+    // Process noise covers lead acceleration up to ~2.5 m/s^2; measurement
+    // variances match the radar model's noise.
+    : filter_(6.0, 0.25 * 0.25, 0.12 * 0.12) {}
+
+void LeadTracker::predict(double dt) noexcept {
+  filter_.predict(dt);
+  stale_time_ += dt;
+}
+
+void LeadTracker::update(const msg::RadarState& radar) noexcept {
+  if (!radar.lead_valid) return;
+  filter_.update(radar.lead_distance, radar.lead_rel_speed);
+  lead_speed_ = radar.lead_speed;
+  stale_time_ = 0.0;
+}
+
+LeadEstimate LeadTracker::estimate() const noexcept {
+  LeadEstimate est;
+  est.valid = filter_.initialized() && stale_time_ <= kMaxStale;
+  if (est.valid) {
+    est.distance = filter_.value();
+    est.rel_speed = filter_.rate();
+    est.lead_speed = lead_speed_;
+  }
+  return est;
+}
+
+}  // namespace scaa::adas

@@ -1,0 +1,45 @@
+#pragma once
+
+/// @file lead_tracker.hpp
+/// Lead-vehicle state estimation from radar messages.
+
+#include "adas/kalman.hpp"
+#include "msg/messages.hpp"
+
+namespace scaa::adas {
+
+/// Smoothed lead estimate consumed by the longitudinal planner.
+struct LeadEstimate {
+  bool valid = false;
+  double distance = 0.0;   ///< smoothed gap [m]
+  double rel_speed = 0.0;  ///< smoothed lead-minus-ego speed [m/s]
+  double lead_speed = 0.0; ///< absolute lead speed [m/s]
+};
+
+/// Tracks the lead through radar updates; coasts through short dropouts
+/// (predict-only) and invalidates the track after a timeout, mirroring how
+/// production trackers behave.
+class LeadTracker {
+ public:
+  LeadTracker() noexcept;
+
+  /// Time update at the control rate.
+  void predict(double dt) noexcept;
+
+  /// Fold in one radarState message.
+  void update(const msg::RadarState& radar) noexcept;
+
+  /// Current estimate.
+  LeadEstimate estimate() const noexcept;
+
+  /// Seconds since the last valid radar return (large when never seen).
+  double staleness() const noexcept { return stale_time_; }
+
+ private:
+  Kalman2D filter_;
+  double lead_speed_ = 0.0;
+  double stale_time_ = 1e9;
+  static constexpr double kMaxStale = 0.5;  ///< [s] track hold time
+};
+
+}  // namespace scaa::adas

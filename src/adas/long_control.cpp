@@ -1,0 +1,12 @@
+#include "adas/long_control.hpp"
+
+#include "util/math.hpp"
+
+namespace scaa::adas {
+
+double LongControl::update(double planned_accel, double dt) noexcept {
+  cmd_ = math::rate_limit(cmd_, planned_accel, config_.max_jerk * dt);
+  return cmd_;
+}
+
+}  // namespace scaa::adas

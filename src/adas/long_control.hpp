@@ -1,0 +1,33 @@
+#pragma once
+
+/// @file long_control.hpp
+/// Longitudinal control: planned accel -> jerk-limited actuator command.
+
+namespace scaa::adas {
+
+/// Tuning of the longitudinal output stage.
+struct LongControlConfig {
+  double max_jerk = 4.0;  ///< [m/s^3] command slew limit
+};
+
+/// Applies a jerk limit to the planner's acceleration request — the last
+/// software stage before the command is encoded onto the CAN bus.
+class LongControl {
+ public:
+  explicit LongControl(LongControlConfig config) noexcept : config_(config) {}
+
+  /// Produce this cycle's accel command [m/s^2].
+  double update(double planned_accel, double dt) noexcept;
+
+  /// Last command issued.
+  double last_command() const noexcept { return cmd_; }
+
+  /// Reset internal state (e.g., on engage).
+  void reset(double accel = 0.0) noexcept { cmd_ = accel; }
+
+ private:
+  LongControlConfig config_;
+  double cmd_ = 0.0;
+};
+
+}  // namespace scaa::adas

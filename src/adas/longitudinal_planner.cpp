@@ -1,0 +1,35 @@
+#include "adas/longitudinal_planner.hpp"
+
+#include <algorithm>
+
+#include "util/math.hpp"
+
+namespace scaa::adas {
+
+LongitudinalPlan LongitudinalPlanner::update(
+    double ego_speed, double cruise_speed, const LeadEstimate& lead) noexcept {
+  LongitudinalPlan plan;
+
+  // Cruise law: proportional speed tracking.
+  const double cruise_accel =
+      config_.cruise_gain * (cruise_speed - ego_speed);
+
+  double accel = cruise_accel;
+  if (lead.valid) {
+    // Constant-time-gap follow law.
+    plan.desired_gap =
+        config_.stop_distance + config_.follow_headway * ego_speed;
+    const double gap_error = lead.distance - plan.desired_gap;
+    const double follow_accel = config_.gap_gain * gap_error +
+                                config_.rel_speed_gain * lead.rel_speed;
+    if (follow_accel < cruise_accel) {
+      accel = follow_accel;
+      plan.following = true;
+    }
+  }
+
+  plan.accel = math::clamp(accel, config_.min_accel, config_.max_accel);
+  return plan;
+}
+
+}  // namespace scaa::adas

@@ -1,0 +1,48 @@
+#pragma once
+
+/// @file longitudinal_planner.hpp
+/// ACC longitudinal planning: cruise / follow acceleration arbitration.
+
+#include "adas/lead_tracker.hpp"
+
+namespace scaa::adas {
+
+/// Tuning of the ACC planner. Default limits are OpenPilot's published
+/// safety envelope (paper §II-A): accel in [-3.5, 2.0] m/s^2.
+struct AccConfig {
+  double max_accel = 2.0;      ///< [m/s^2]
+  double min_accel = -3.5;     ///< [m/s^2]
+  double cruise_gain = 0.45;   ///< [1/s] P gain on speed error
+  double follow_headway = 1.45; ///< [s] desired time headway (OpenPilot T_FOLLOW)
+  double stop_distance = 4.0;  ///< [m] standstill gap
+  double gap_gain = 0.06;      ///< [1/s^2] P gain on gap error
+  double rel_speed_gain = 0.30;///< [1/s] gain on closing speed
+};
+
+/// Output of the planner each cycle.
+struct LongitudinalPlan {
+  double accel = 0.0;       ///< requested accel [m/s^2]
+  bool following = false;   ///< true when the lead constrains the plan
+  double desired_gap = 0.0; ///< [m] gap the follow law is regulating to
+};
+
+/// Classic ACC: constant-time-gap follow law blended with a cruise speed
+/// P controller; the more conservative of the two wins.
+class LongitudinalPlanner {
+ public:
+  explicit LongitudinalPlanner(AccConfig config) noexcept : config_(config) {}
+
+  /// Compute the plan for the current cycle.
+  /// @p ego_speed   measured ego speed [m/s]
+  /// @p cruise_speed set speed [m/s]
+  /// @p lead        smoothed lead estimate
+  LongitudinalPlan update(double ego_speed, double cruise_speed,
+                          const LeadEstimate& lead) noexcept;
+
+  const AccConfig& config() const noexcept { return config_; }
+
+ private:
+  AccConfig config_;
+};
+
+}  // namespace scaa::adas

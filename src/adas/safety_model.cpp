@@ -1,0 +1,14 @@
+#include "adas/safety_model.hpp"
+
+#include "util/math.hpp"
+
+namespace scaa::adas {
+
+vehicle::ActuatorCommand clamp_to_limits(const vehicle::ActuatorCommand& cmd,
+                                         const SafetyLimits& limits) noexcept {
+  vehicle::ActuatorCommand out = cmd;
+  out.accel = math::clamp(cmd.accel, limits.min_accel, limits.max_accel);
+  return out;
+}
+
+}  // namespace scaa::adas

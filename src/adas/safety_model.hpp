@@ -1,0 +1,34 @@
+#pragma once
+
+/// @file safety_model.hpp
+/// OpenPilot's output-command safety envelope (paper §II-A).
+///
+/// These are the limits the legitimate control stack enforces on its own
+/// outputs — and, crucially for the paper, the limits the Context-Aware
+/// attack reads out of the open-source code and uses as the constraint set
+/// of Eq. 1 so its corrupted commands stay indistinguishable from
+/// legitimate ones.
+
+#include "vehicle/vehicle.hpp"
+
+namespace scaa::adas {
+
+/// The published OpenPilot/ISO-22179-style envelope.
+struct SafetyLimits {
+  double max_accel = 2.0;        ///< [m/s^2]
+  double min_accel = -3.5;       ///< [m/s^2] (braking)
+  double max_steer_delta = 0.0087;  ///< [rad] ~0.5 deg max angle offset per command
+  double speed_margin = 1.1;     ///< commanded speed may not exceed 1.1 x cruise
+
+  /// FCW threshold on the commanded deceleration. Deliberately *outside*
+  /// the command envelope (|min_accel| < fcw_brake): with commands clamped
+  /// to min_accel the warning can never fire — the design defect the paper
+  /// demonstrates (Observation 2).
+  double fcw_brake = 4.5;        ///< [m/s^2] decel that triggers FCW
+};
+
+/// Clamp an actuator command set into the envelope.
+vehicle::ActuatorCommand clamp_to_limits(const vehicle::ActuatorCommand& cmd,
+                                         const SafetyLimits& limits) noexcept;
+
+}  // namespace scaa::adas

@@ -1,0 +1,32 @@
+#include "adas/torque_controller.hpp"
+
+#include <cmath>
+
+#include "util/math.hpp"
+
+namespace scaa::adas {
+
+double TorqueController::update(double desired_curvature, double raw_curvature,
+                                double dt) noexcept {
+  // Kinematic inversion: angle = atan(L * curvature).
+  const double desired_angle =
+      std::atan(wheelbase_ * desired_curvature);
+
+  // Saturation is judged on the *unclipped* demand against the command
+  // envelope: the controller wants more steering than it may command.
+  const double raw_angle = std::atan(wheelbase_ * raw_curvature);
+  saturated_now_ = std::abs(raw_angle) > config_.saturation_threshold;
+  if (saturated_now_)
+    saturated_time_ += dt;
+  else
+    saturated_time_ = 0.0;
+  saturated_ = saturated_time_ >= config_.saturation_time;
+
+  // Apply the command envelope: absolute clip + per-cycle rate limit.
+  const double clipped = math::clamp(desired_angle, -config_.angle_cmd_limit,
+                                     config_.angle_cmd_limit);
+  cmd_ = math::rate_limit(cmd_, clipped, config_.angle_rate_limit);
+  return cmd_;
+}
+
+}  // namespace scaa::adas

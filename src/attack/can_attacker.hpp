@@ -1,0 +1,46 @@
+#pragma once
+
+/// @file can_attacker.hpp
+/// CAN-level command corruption with checksum repair (paper Fig. 4).
+
+#include <cstdint>
+
+#include "attack/value_corruption.hpp"
+#include "can/bus.hpp"
+#include "can/packer.hpp"
+
+namespace scaa::attack {
+
+/// Intercepts actuator command frames on the CAN bus and rewrites the
+/// targeted signals, then recomputes the Honda checksum so the corrupted
+/// frame still validates at the receiver. Positioned like the paper's
+/// malware: after the ADAS software (and, on the simulated rig, after the
+/// bypassed Panda), before the actuators.
+class CanAttacker {
+ public:
+  /// @p db must outlive the attacker.
+  explicit CanAttacker(const can::Database& db);
+
+  /// Attach to @p bus as an interceptor; returns the attachment id.
+  std::uint64_t attach(can::CanBus& bus);
+
+  /// Set the corruption to apply from now on (empty = passthrough).
+  void set_values(const AttackValues& values) noexcept { values_ = values; }
+
+  /// Frames actually modified so far.
+  std::uint64_t frames_corrupted() const noexcept { return corrupted_; }
+
+  /// The steering command observed on the wire this cycle, before
+  /// corruption [rad] (used by tests; attacker-visible anyway by tapping).
+  double last_original_steer() const noexcept { return last_original_steer_; }
+
+ private:
+  bool intercept(can::CanFrame& frame);
+
+  const can::Database* db_;
+  AttackValues values_;
+  std::uint64_t corrupted_ = 0;
+  double last_original_steer_ = 0.0;
+};
+
+}  // namespace scaa::attack

@@ -1,0 +1,64 @@
+#include "attack/context_table.hpp"
+
+namespace scaa::attack {
+
+std::string to_string(UnsafeAction action) {
+  switch (action) {
+    case UnsafeAction::kAcceleration: return "Acceleration";
+    case UnsafeAction::kDeceleration: return "Deceleration";
+    case UnsafeAction::kSteerLeft: return "SteerLeft";
+    case UnsafeAction::kSteerRight: return "SteerRight";
+  }
+  return "?";
+}
+
+std::string to_string(HazardClass hazard) {
+  switch (hazard) {
+    case HazardClass::kNone: return "None";
+    case HazardClass::kH1: return "H1";
+    case HazardClass::kH2: return "H2";
+    case HazardClass::kH3: return "H3";
+  }
+  return "?";
+}
+
+ContextMatch ContextTable::match(const SafetyContext& ctx) const noexcept {
+  ContextMatch m;
+
+  // Rule 1: close behind a slower lead -> acceleration is unsafe.
+  if (ctx.lead_valid && ctx.hwt <= params_.t_safe && ctx.rel_speed > 0.0)
+    m.action_enabled[static_cast<std::size_t>(UnsafeAction::kAcceleration)] =
+        true;
+
+  // Rule 2: clear headway, not closing, at speed -> deceleration is unsafe
+  // (unjustified slowdown creates rear-end risk). A missing lead counts as
+  // clear headway.
+  const bool clear_headway = !ctx.lead_valid || ctx.hwt > params_.t_safe;
+  const bool not_closing = !ctx.lead_valid || ctx.rel_speed <= 0.0;
+  if (clear_headway && not_closing && ctx.speed > params_.beta1)
+    m.action_enabled[static_cast<std::size_t>(UnsafeAction::kDeceleration)] =
+        true;
+
+  // Rules 3/4: already at a lane edge, at speed -> steering out is unsafe.
+  if (ctx.perception_valid && ctx.speed > params_.beta2) {
+    if (ctx.d_left <= params_.edge_margin)
+      m.action_enabled[static_cast<std::size_t>(UnsafeAction::kSteerLeft)] =
+          true;
+    if (ctx.d_right <= params_.edge_margin)
+      m.action_enabled[static_cast<std::size_t>(UnsafeAction::kSteerRight)] =
+          true;
+  }
+  return m;
+}
+
+HazardClass ContextTable::target_hazard(UnsafeAction action) noexcept {
+  switch (action) {
+    case UnsafeAction::kAcceleration: return HazardClass::kH1;
+    case UnsafeAction::kDeceleration: return HazardClass::kH2;
+    case UnsafeAction::kSteerLeft:
+    case UnsafeAction::kSteerRight: return HazardClass::kH3;
+  }
+  return HazardClass::kNone;
+}
+
+}  // namespace scaa::attack

@@ -1,0 +1,82 @@
+#pragma once
+
+/// @file context_table.hpp
+/// The safety context table (paper Table I): unsafe control actions per
+/// system context, derived from STPA-style hazard analysis.
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "attack/context.hpp"
+
+namespace scaa::attack {
+
+/// High-level unsafe control actions (u1..u4 of Table I).
+enum class UnsafeAction : std::uint8_t {
+  kAcceleration = 0,  ///< u1 -> H1
+  kDeceleration = 1,  ///< u2 -> H2
+  kSteerLeft = 2,     ///< u3 -> H3
+  kSteerRight = 3,    ///< u4 -> H3
+};
+
+/// Hazard classes of the paper.
+enum class HazardClass : std::uint8_t {
+  kNone = 0,
+  kH1,  ///< safe-following-distance violation (-> A1)
+  kH2,  ///< unjustified slowdown / stop (-> A2)
+  kH3,  ///< out of lane (-> A3)
+};
+
+/// Human-readable names.
+std::string to_string(UnsafeAction action);
+std::string to_string(HazardClass hazard);
+
+/// Threshold parameters of Table I. tsafe in [2,3] s, beta1/beta2 in
+/// [20,35] mph — an attacker tunes these from domain knowledge; defaults
+/// are mid-range picks matched to ACC behaviour.
+struct ContextTableParams {
+  double t_safe = 2.5;          ///< [s]
+  double beta1 = 11.18;         ///< [m/s] = 25 mph
+  double beta2 = 11.18;         ///< [m/s] = 25 mph
+  double edge_margin = 0.1;     ///< [m] "already at the lane edge" distance
+};
+
+/// Match result: whether each unsafe action is enabled by the current
+/// context.
+struct ContextMatch {
+  std::array<bool, 4> action_enabled{};  ///< indexed by UnsafeAction
+
+  bool enabled(UnsafeAction a) const noexcept {
+    return action_enabled[static_cast<std::size_t>(a)];
+  }
+  bool any() const noexcept {
+    for (const bool b : action_enabled)
+      if (b) return true;
+    return false;
+  }
+};
+
+/// Evaluates the four rules of Table I against an inferred context.
+class ContextTable {
+ public:
+  explicit ContextTable(ContextTableParams params) noexcept
+      : params_(params) {}
+
+  /// Rule evaluation:
+  ///  1. HWT <= t_safe  && RS > 0                 -> u1 (Acceleration, H1)
+  ///  2. HWT > t_safe   && RS <= 0 && v > beta1   -> u2 (Deceleration, H2)
+  ///  3. d_left <= 0.1m && v > beta2              -> u3 (SteerLeft, H3)
+  ///  4. d_right <= 0.1m && v > beta2             -> u4 (SteerRight, H3)
+  ContextMatch match(const SafetyContext& ctx) const noexcept;
+
+  /// The hazard each unsafe action aims for.
+  static HazardClass target_hazard(UnsafeAction action) noexcept;
+
+  const ContextTableParams& params() const noexcept { return params_; }
+
+ private:
+  ContextTableParams params_;
+};
+
+}  // namespace scaa::attack

@@ -1,0 +1,58 @@
+#include "attack/engine.hpp"
+
+namespace scaa::attack {
+
+namespace {
+
+/// The strategy must trigger on the rules of the engine's attack type;
+/// keep the two in sync no matter how the config was assembled.
+StrategyParams synced_params(const AttackConfig& config) noexcept {
+  StrategyParams p = config.strategy_params;
+  p.type = config.type;
+  return p;
+}
+
+}  // namespace
+
+AttackEngine::AttackEngine(const AttackConfig& config, msg::PubSubBus& msg_bus,
+                           can::CanBus& can_bus, const can::Database& db,
+                           double half_width, util::Rng rng)
+    : config_(config),
+      inference_(msg_bus, half_width),
+      table_(config.table),
+      strategy_(make_strategy(config.strategy, synced_params(config), rng)),
+      corruption_(config.strategic_values,
+                  config.strategic_values ? CorruptionLimits::strategic()
+                                          : CorruptionLimits::fixed(),
+                  config.cruise_speed),
+      attacker_(db) {
+  attacker_.attach(can_bus);
+}
+
+void AttackEngine::step(double time, double dt) {
+  last_context_ = inference_.infer(time);
+  const ContextMatch match = table_.match(last_context_);
+  const ActivationDecision decision =
+      strategy_->decide(last_context_, match, time);
+  active_now_ = decision.active;
+  if (decision.active) ++cycles_active_;
+
+  const AttackValues values = corruption_.compute(
+      decision, config_.type, last_context_.speed, dt);
+  attacker_.set_values(values);
+}
+
+void AttackEngine::notify_driver_engaged(double time) noexcept {
+  strategy_->notify_driver_engaged(time);
+}
+
+AttackStats AttackEngine::stats() const noexcept {
+  AttackStats s;
+  s.first_activation = strategy_->first_activation();
+  s.active_now = active_now_;
+  s.frames_corrupted = attacker_.frames_corrupted();
+  s.cycles_active = cycles_active_;
+  return s;
+}
+
+}  // namespace scaa::attack

@@ -1,0 +1,73 @@
+#pragma once
+
+/// @file engine.hpp
+/// The attack engine: eavesdrop -> infer context -> select activation ->
+/// corrupt values -> rewrite CAN frames (paper Fig. 1 and §III-C).
+
+#include <memory>
+
+#include "attack/can_attacker.hpp"
+#include "attack/context.hpp"
+#include "attack/context_table.hpp"
+#include "attack/strategies.hpp"
+#include "attack/value_corruption.hpp"
+
+namespace scaa::attack {
+
+/// Full configuration of one attack campaign element.
+struct AttackConfig {
+  StrategyKind strategy = StrategyKind::kContextAware;
+  AttackType type = AttackType::kAcceleration;
+  bool strategic_values = true;   ///< Eq. 1-3 corruption vs. fixed maxima
+  ContextTableParams table;       ///< Table I thresholds
+  StrategyParams strategy_params; ///< Table III timing parameters
+  double cruise_speed = 26.82;    ///< [m/s] eavesdropped/recon set speed
+};
+
+/// Per-simulation attack statistics.
+struct AttackStats {
+  double first_activation = -1.0;  ///< [s]; negative = never activated
+  bool active_now = false;
+  std::uint64_t frames_corrupted = 0;
+  std::uint64_t cycles_active = 0;
+};
+
+/// Orchestrates one attack instance inside a simulation.
+class AttackEngine {
+ public:
+  /// Wires the eavesdropper into @p msg_bus and the corruptor into
+  /// @p can_bus. @p half_width is the target vehicle's half body width
+  /// (public spec data used for lane-edge distance inference).
+  AttackEngine(const AttackConfig& config, msg::PubSubBus& msg_bus,
+               can::CanBus& can_bus, const can::Database& db,
+               double half_width, util::Rng rng);
+
+  /// Run one cycle at simulation @p time; must be called after sensors
+  /// publish and before the ADAS command frames for this cycle are needed
+  /// (the interceptor state persists until changed).
+  void step(double time, double dt);
+
+  /// The paper's stop rule: the engine halts injection once the driver
+  /// physically takes over.
+  void notify_driver_engaged(double time) noexcept;
+
+  /// Statistics for the metrics layer.
+  AttackStats stats() const noexcept;
+
+  /// Introspection for tests.
+  const SafetyContext& last_context() const noexcept { return last_context_; }
+  const ContextTable& table() const noexcept { return table_; }
+
+ private:
+  AttackConfig config_;
+  ContextInference inference_;
+  ContextTable table_;
+  std::unique_ptr<AttackStrategy> strategy_;
+  ValueCorruption corruption_;
+  CanAttacker attacker_;
+  SafetyContext last_context_;
+  std::uint64_t cycles_active_ = 0;
+  bool active_now_ = false;
+};
+
+}  // namespace scaa::attack

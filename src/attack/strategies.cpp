@@ -1,0 +1,241 @@
+#include "attack/strategies.hpp"
+
+#include <algorithm>
+
+namespace scaa::attack {
+
+std::string to_string(AttackType type) {
+  switch (type) {
+    case AttackType::kAcceleration: return "Acceleration";
+    case AttackType::kDeceleration: return "Deceleration";
+    case AttackType::kSteeringLeft: return "Steering-Left";
+    case AttackType::kSteeringRight: return "Steering-Right";
+    case AttackType::kAccelerationSteering: return "Acceleration-Steering";
+    case AttackType::kDecelerationSteering: return "Deceleration-Steering";
+  }
+  return "?";
+}
+
+std::string to_string(StrategyKind kind) {
+  switch (kind) {
+    case StrategyKind::kNone: return "No Attacks";
+    case StrategyKind::kRandomStDur: return "Random-ST+DUR";
+    case StrategyKind::kRandomSt: return "Random-ST";
+    case StrategyKind::kRandomDur: return "Random-DUR";
+    case StrategyKind::kContextAware: return "Context-Aware";
+  }
+  return "?";
+}
+
+AttackChannels channels_of(AttackType type) noexcept {
+  switch (type) {
+    case AttackType::kAcceleration: return {true, false, false};
+    case AttackType::kDeceleration: return {false, true, false};
+    case AttackType::kSteeringLeft:
+    case AttackType::kSteeringRight: return {false, false, true};
+    case AttackType::kAccelerationSteering: return {true, false, true};
+    case AttackType::kDecelerationSteering: return {false, true, true};
+  }
+  return {};
+}
+
+ActivationDecision AttackStrategy::finalize(ActivationDecision decision,
+                                            double time) noexcept {
+  if (driver_engaged_) decision = {};  // attack stops on driver engagement
+  if (decision.active && first_activation_ < 0.0) first_activation_ = time;
+  return decision;
+}
+
+namespace {
+
+/// Fixed steering direction of pure steering types; 0 for combined types
+/// (their direction is decided at activation).
+int fixed_direction(AttackType type) noexcept {
+  if (type == AttackType::kSteeringLeft) return 1;
+  if (type == AttackType::kSteeringRight) return -1;
+  return 0;
+}
+
+/// Shared context-trigger logic: does the current context enable this
+/// attack type, and with which steering direction?
+ActivationDecision context_trigger(AttackType type,
+                                   const SafetyContext& ctx,
+                                   const ContextMatch& match) noexcept {
+  ActivationDecision d;
+  const AttackChannels ch = channels_of(type);
+
+  bool longitudinal_ok = false;
+  if (ch.accel)
+    longitudinal_ok = match.enabled(UnsafeAction::kAcceleration);
+  if (ch.brake)
+    longitudinal_ok = match.enabled(UnsafeAction::kDeceleration);
+
+  int steer_dir = 0;
+  if (ch.steer) {
+    if (type == AttackType::kSteeringLeft &&
+        match.enabled(UnsafeAction::kSteerLeft))
+      steer_dir = 1;
+    else if (type == AttackType::kSteeringRight &&
+             match.enabled(UnsafeAction::kSteerRight))
+      steer_dir = -1;
+    else if (type == AttackType::kAccelerationSteering ||
+             type == AttackType::kDecelerationSteering) {
+      // Combined types take either lane-edge rule; pick the matched side,
+      // or (when triggered longitudinally) the nearer edge.
+      if (match.enabled(UnsafeAction::kSteerLeft)) steer_dir = 1;
+      else if (match.enabled(UnsafeAction::kSteerRight)) steer_dir = -1;
+      else if (longitudinal_ok)
+        steer_dir = ctx.d_left < ctx.d_right ? 1 : -1;
+    }
+  }
+
+  if (ch.steer && !ch.accel && !ch.brake) {
+    d.active = steer_dir != 0;
+  } else if (ch.steer) {
+    // Combined: active when either the longitudinal rule or an edge rule
+    // matches; both channels are injected while active (Table II).
+    d.active = longitudinal_ok || steer_dir != 0;
+    if (d.active && steer_dir == 0)
+      steer_dir = ctx.d_left < ctx.d_right ? 1 : -1;
+  } else {
+    d.active = longitudinal_ok;
+  }
+  d.steer_direction = steer_dir;
+  return d;
+}
+
+/// Random-ST+DUR and Random-ST: a fixed window drawn up front.
+class RandomWindowStrategy final : public AttackStrategy {
+ public:
+  RandomWindowStrategy(const StrategyParams& params, util::Rng rng,
+                       bool random_duration)
+      : type_(params.type) {
+    start_ = params.forced_start >= 0.0
+                 ? params.forced_start
+                 : rng.uniform(params.min_start, params.max_start);
+    duration_ = params.forced_duration >= 0.0
+                    ? params.forced_duration
+                : random_duration
+                    ? rng.uniform(params.min_duration, params.max_duration)
+                    : params.fixed_duration;
+    direction_ = fixed_direction(type_);
+    if (direction_ == 0) direction_ = rng.bernoulli(0.5) ? 1 : -1;
+  }
+
+  ActivationDecision decide(const SafetyContext&, const ContextMatch&,
+                            double time) override {
+    ActivationDecision d;
+    d.active = time >= start_ && time < start_ + duration_;
+    d.steer_direction = channels_of(type_).steer ? direction_ : 0;
+    return finalize(d, time);
+  }
+
+ private:
+  AttackType type_;
+  double start_ = 0.0;
+  double duration_ = 0.0;
+  int direction_ = 0;
+};
+
+/// Random-DUR: starts at the first context match, runs a random duration.
+class RandomDurationStrategy final : public AttackStrategy {
+ public:
+  RandomDurationStrategy(const StrategyParams& params, util::Rng rng)
+      : type_(params.type),
+        min_start_(params.min_start),
+        duration_(rng.uniform(params.min_duration, params.max_duration)) {}
+
+  ActivationDecision decide(const SafetyContext& ctx,
+                            const ContextMatch& match, double time) override {
+    // The attacker sits out the startup transient (same lower bound the
+    // random strategies use for their windows).
+    if (!triggered_ && time >= min_start_) {
+      const ActivationDecision d = context_trigger(type_, ctx, match);
+      if (d.active) {
+        triggered_ = true;
+        trigger_time_ = time;
+        direction_ = d.steer_direction;
+      }
+    }
+    ActivationDecision out;
+    if (triggered_ && time < trigger_time_ + duration_) {
+      out.active = true;
+      out.steer_direction = direction_;
+    }
+    return finalize(out, time);
+  }
+
+ private:
+  AttackType type_;
+  double min_start_ = 5.0;
+  double duration_;
+  bool triggered_ = false;
+  double trigger_time_ = 0.0;
+  int direction_ = 0;
+};
+
+/// Context-Aware: starts at the first context match and latches — the
+/// duration is "as long as it takes", ended only by driver engagement (the
+/// engine's stop rule) or the end of the scenario. The latch reflects that
+/// once the system is being driven toward the hazard the enabling context
+/// keeps holding (closing gap keeps HWT shrinking, a crossed lane edge
+/// keeps d_edge <= 0.1 m, braking keeps RS <= 0).
+class ContextAwareStrategy final : public AttackStrategy {
+ public:
+  explicit ContextAwareStrategy(const StrategyParams& params)
+      : type_(params.type), min_start_(params.min_start) {}
+
+  ActivationDecision decide(const SafetyContext& ctx,
+                            const ContextMatch& match, double time) override {
+    if (!triggered_ && time >= min_start_) {
+      const ActivationDecision d = context_trigger(type_, ctx, match);
+      if (d.active) {
+        triggered_ = true;
+        direction_ = d.steer_direction;
+      }
+    }
+    ActivationDecision out;
+    if (triggered_) {
+      out.active = true;
+      out.steer_direction = direction_;
+    }
+    return finalize(out, time);
+  }
+
+ private:
+  AttackType type_;
+  double min_start_ = 5.0;
+  bool triggered_ = false;
+  int direction_ = 0;
+};
+
+/// No attack at all (baseline row of Table IV).
+class NullStrategy final : public AttackStrategy {
+ public:
+  ActivationDecision decide(const SafetyContext&, const ContextMatch&,
+                            double) override {
+    return {};
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<AttackStrategy> make_strategy(StrategyKind kind,
+                                              const StrategyParams& params,
+                                              util::Rng rng) {
+  switch (kind) {
+    case StrategyKind::kNone:
+      return std::make_unique<NullStrategy>();
+    case StrategyKind::kRandomStDur:
+      return std::make_unique<RandomWindowStrategy>(params, rng, true);
+    case StrategyKind::kRandomSt:
+      return std::make_unique<RandomWindowStrategy>(params, rng, false);
+    case StrategyKind::kRandomDur:
+      return std::make_unique<RandomDurationStrategy>(params, rng);
+    case StrategyKind::kContextAware:
+      return std::make_unique<ContextAwareStrategy>(params);
+  }
+  return std::make_unique<NullStrategy>();
+}
+
+}  // namespace scaa::attack

@@ -1,0 +1,110 @@
+#pragma once
+
+/// @file strategies.hpp
+/// Attack types (paper Table II) and activation strategies (Table III).
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "attack/context_table.hpp"
+#include "util/rng.hpp"
+
+namespace scaa::attack {
+
+/// The six fault-injection attack types of Table II.
+enum class AttackType : std::uint8_t {
+  kAcceleration = 0,
+  kDeceleration,
+  kSteeringLeft,
+  kSteeringRight,
+  kAccelerationSteering,
+  kDecelerationSteering,
+};
+
+/// All attack types, for iteration in campaigns.
+inline constexpr AttackType kAllAttackTypes[] = {
+    AttackType::kAcceleration,        AttackType::kDeceleration,
+    AttackType::kSteeringLeft,        AttackType::kSteeringRight,
+    AttackType::kAccelerationSteering, AttackType::kDecelerationSteering,
+};
+
+/// The four activation strategies of Table III (plus "no attack").
+enum class StrategyKind : std::uint8_t {
+  kNone = 0,        ///< baseline: no attack at all
+  kRandomStDur,     ///< random start time and random duration
+  kRandomSt,        ///< random start time, fixed 2.5 s duration
+  kRandomDur,       ///< context-aware start time, random duration
+  kContextAware,    ///< context-aware start time and duration
+};
+
+std::string to_string(AttackType type);
+std::string to_string(StrategyKind kind);
+
+/// Which output channels an attack type touches.
+struct AttackChannels {
+  bool accel = false;   ///< corrupt the gas/accel command upward
+  bool brake = false;   ///< corrupt the brake command (forced decel)
+  bool steer = false;   ///< corrupt the steering command
+};
+
+/// Channel map of each attack type.
+AttackChannels channels_of(AttackType type) noexcept;
+
+/// Per-step activation decision produced by a strategy.
+struct ActivationDecision {
+  bool active = false;
+  int steer_direction = 0;  ///< +1 left, -1 right, 0 unused
+};
+
+/// Strategy interface: decides, every control cycle, whether the attack is
+/// live. Strategies never choose values — that is the corruption stage.
+class AttackStrategy {
+ public:
+  virtual ~AttackStrategy() = default;
+
+  /// Decide for the current cycle.
+  virtual ActivationDecision decide(const SafetyContext& ctx,
+                                    const ContextMatch& match,
+                                    double time) = 0;
+
+  /// The paper's attack engine stops as soon as the driver engages.
+  void notify_driver_engaged(double time) noexcept {
+    driver_engaged_ = true;
+    driver_engage_time_ = time;
+  }
+
+  /// First time the attack went active; negative when never.
+  double first_activation() const noexcept { return first_activation_; }
+
+ protected:
+  /// Record and gate a raw decision through the driver-engaged stop rule.
+  ActivationDecision finalize(ActivationDecision decision, double time) noexcept;
+
+  bool driver_engaged_ = false;
+  double driver_engage_time_ = -1.0;
+  double first_activation_ = -1.0;
+};
+
+/// Shared construction parameters.
+struct StrategyParams {
+  AttackType type = AttackType::kAcceleration;
+  double min_start = 5.0;    ///< [s] Random-ST window lower bound
+  double max_start = 40.0;   ///< [s] Random-ST window upper bound
+  double min_duration = 0.5; ///< [s] Random-DUR bounds
+  double max_duration = 2.5;
+  double fixed_duration = 2.5;  ///< [s] Random-ST's duration (driver reaction time)
+
+  /// When >= 0, window strategies use these instead of random draws —
+  /// the hook the Fig. 8 parameter-space sweep uses to place grid points.
+  double forced_start = -1.0;
+  double forced_duration = -1.0;
+};
+
+/// Factory: build a strategy of @p kind. @p rng seeds the random draws
+/// (start time / duration / steering direction) for this simulation.
+std::unique_ptr<AttackStrategy> make_strategy(StrategyKind kind,
+                                              const StrategyParams& params,
+                                              util::Rng rng);
+
+}  // namespace scaa::attack

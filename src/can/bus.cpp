@@ -1,0 +1,50 @@
+#include "can/bus.hpp"
+
+#include <algorithm>
+
+namespace scaa::can {
+
+std::uint64_t CanBus::attach_tap(Tap tap) {
+  const auto id = next_id_++;
+  taps_.push_back({id, std::move(tap)});
+  return id;
+}
+
+std::uint64_t CanBus::attach_interceptor(Interceptor interceptor) {
+  const auto id = next_id_++;
+  interceptors_.push_back({id, std::move(interceptor)});
+  return id;
+}
+
+std::uint64_t CanBus::attach_receiver(Receiver receiver) {
+  const auto id = next_id_++;
+  receivers_.push_back({id, std::move(receiver)});
+  return id;
+}
+
+void CanBus::detach(std::uint64_t id) {
+  const auto erase_id = [id](auto& container) {
+    container.erase(
+        std::remove_if(container.begin(), container.end(),
+                       [id](const auto& e) { return e.id == id; }),
+        container.end());
+  };
+  erase_id(taps_);
+  erase_id(interceptors_);
+  erase_id(receivers_);
+}
+
+bool CanBus::send(CanFrame frame) {
+  ++sent_;
+  for (const auto& entry : interceptors_) {
+    if (!entry.fn(frame)) {
+      ++dropped_;
+      return false;
+    }
+  }
+  for (const auto& entry : taps_) entry.fn(frame);
+  for (const auto& entry : receivers_) entry.fn(frame);
+  return true;
+}
+
+}  // namespace scaa::can

@@ -1,0 +1,72 @@
+#pragma once
+
+/// @file bus.hpp
+/// The in-vehicle CAN bus with tap and man-in-the-middle attachment points.
+///
+/// Frames sent by any node are delivered, in order, to every attached
+/// receiver. Two attachment kinds model the paper's threat surface:
+///  * taps: read-only observers (traffic monitoring / reverse engineering);
+///  * interceptors: transforms applied to a frame before delivery — this is
+///    where the attack engine rewrites actuator commands (OBD-II position,
+///    after the ADAS safety checks, before the actuators).
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "can/frame.hpp"
+
+namespace scaa::can {
+
+/// Ordered, lossless CAN bus model.
+///
+/// Real CAN arbitration/latency is not modelled: at the 100 Hz control rate
+/// the handful of frames per cycle always fits the bus, so arbitration has
+/// no observable effect on the experiments.
+class CanBus {
+ public:
+  using Tap = std::function<void(const CanFrame&)>;
+  /// Interceptor may modify the frame, or drop it by returning false.
+  using Interceptor = std::function<bool(CanFrame&)>;
+  using Receiver = std::function<void(const CanFrame&)>;
+
+  /// Attach a read-only tap (sees frames post-interception, like a device
+  /// listening on the OBD-II connector). Returns an attachment id.
+  std::uint64_t attach_tap(Tap tap);
+
+  /// Attach an interceptor; interceptors run in attachment order before
+  /// delivery. Returns an attachment id.
+  std::uint64_t attach_interceptor(Interceptor interceptor);
+
+  /// Attach a receiving node. Returns an attachment id.
+  std::uint64_t attach_receiver(Receiver receiver);
+
+  /// Detach any attachment by id (idempotent).
+  void detach(std::uint64_t id);
+
+  /// Send a frame: run interceptors, then taps, then deliver to receivers.
+  /// Returns false when an interceptor dropped the frame.
+  bool send(CanFrame frame);
+
+  /// Total frames offered to the bus.
+  std::uint64_t frames_sent() const noexcept { return sent_; }
+
+  /// Frames dropped by interceptors.
+  std::uint64_t frames_dropped() const noexcept { return dropped_; }
+
+ private:
+  template <typename T>
+  struct Entry {
+    std::uint64_t id;
+    T fn;
+  };
+  std::vector<Entry<Tap>> taps_;
+  std::vector<Entry<Interceptor>> interceptors_;
+  std::vector<Entry<Receiver>> receivers_;
+  std::uint64_t next_id_ = 1;
+  std::uint64_t sent_ = 0;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace scaa::can

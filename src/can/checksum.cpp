@@ -1,0 +1,56 @@
+#include "can/checksum.hpp"
+
+namespace scaa::can {
+
+std::uint8_t honda_checksum(std::uint32_t address,
+                            const std::array<std::uint8_t, 8>& data,
+                            int length) {
+  // Nibble sum of the address and every payload nibble except the checksum
+  // nibble itself (low nibble of the last byte); the result is the two's
+  // complement low nibble, matching opendbc's honda implementation.
+  unsigned sum = 0;
+  std::uint32_t addr = address;
+  while (addr > 0) {
+    sum += addr & 0xFu;
+    addr >>= 4;
+  }
+  for (int i = 0; i < length; ++i) {
+    const std::uint8_t byte = data[static_cast<std::size_t>(i)];
+    sum += byte >> 4;
+    if (i != length - 1) sum += byte & 0xFu;
+  }
+  return static_cast<std::uint8_t>((8 - sum) & 0xFu);
+}
+
+void apply_honda_checksum(CanFrame& frame) {
+  const int len = frame.dlc;
+  if (len == 0) return;
+  auto& last = frame.data[static_cast<std::size_t>(len - 1)];
+  last &= 0xF0;  // clear the checksum nibble before computing
+  const std::uint8_t ck = honda_checksum(frame.id, frame.data, len);
+  last = static_cast<std::uint8_t>((last & 0xF0) | ck);
+}
+
+std::uint8_t read_counter(const CanFrame& frame) {
+  if (frame.dlc == 0) return 0;
+  return (frame.data[static_cast<std::size_t>(frame.dlc - 1)] >> 4) & 0x3;
+}
+
+void write_counter(CanFrame& frame, std::uint8_t counter) {
+  if (frame.dlc == 0) return;
+  auto& last = frame.data[static_cast<std::size_t>(frame.dlc - 1)];
+  last = static_cast<std::uint8_t>((last & 0xCF) | ((counter & 0x3u) << 4));
+}
+
+bool verify_honda_checksum(const CanFrame& frame) {
+  if (frame.dlc == 0) return false;
+  const auto stored = static_cast<std::uint8_t>(
+      frame.data[static_cast<std::size_t>(frame.dlc - 1)] & 0x0F);
+  CanFrame scratch = frame;
+  scratch.data[static_cast<std::size_t>(frame.dlc - 1)] &= 0xF0;
+  const std::uint8_t computed =
+      honda_checksum(scratch.id, scratch.data, frame.dlc);
+  return stored == computed;
+}
+
+}  // namespace scaa::can

@@ -1,0 +1,36 @@
+#pragma once
+
+/// @file checksum.hpp
+/// Message integrity fields: Honda-style 4-bit checksum and 2-bit counter.
+///
+/// The attacker must recompute these after corrupting a command, otherwise
+/// the receiving ECU discards the frame (paper §III-C, Fig. 4). Layout
+/// mirrors Honda DBCs: the last payload byte carries the rolling counter in
+/// bits [5:4] and the checksum nibble in bits [3:0].
+
+#include <array>
+#include <cstdint>
+
+#include "can/frame.hpp"
+
+namespace scaa::can {
+
+/// Compute the Honda 4-bit checksum over address and payload.
+/// The checksum nibble itself (low nibble of the last byte) is excluded.
+std::uint8_t honda_checksum(std::uint32_t address,
+                            const std::array<std::uint8_t, 8>& data,
+                            int length);
+
+/// Write checksum (and leave the counter bits untouched) into the frame.
+void apply_honda_checksum(CanFrame& frame);
+
+/// Read the counter field (bits [5:4] of the last byte).
+std::uint8_t read_counter(const CanFrame& frame);
+
+/// Set the counter field.
+void write_counter(CanFrame& frame, std::uint8_t counter);
+
+/// Validate the checksum of a frame.
+bool verify_honda_checksum(const CanFrame& frame);
+
+}  // namespace scaa::can

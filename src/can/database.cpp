@@ -1,0 +1,106 @@
+#include "can/database.hpp"
+
+#include <stdexcept>
+
+namespace scaa::can {
+
+Database::Database(std::vector<DbcMessage> messages)
+    : msgs_(std::move(messages)) {
+  for (const auto& m : msgs_) {
+    if (m.size == 0 || m.size > 8)
+      throw std::invalid_argument("Database: message size must be 1..8");
+  }
+}
+
+const DbcMessage* Database::by_id(std::uint32_t id) const noexcept {
+  for (const auto& m : msgs_)
+    if (m.id == id) return &m;
+  return nullptr;
+}
+
+const DbcMessage* Database::by_name(const std::string& name) const noexcept {
+  for (const auto& m : msgs_)
+    if (m.name == name) return &m;
+  return nullptr;
+}
+
+Database Database::simulated_car() {
+  std::vector<DbcMessage> msgs;
+
+  // Steering command: signed centi-degree angle request + enable flag.
+  {
+    DbcMessage m;
+    m.name = "STEERING_CONTROL";
+    m.id = msg_id::kSteeringControl;
+    m.size = 5;
+    m.checksum = ChecksumKind::kHonda;
+    m.signals = {
+        DbcSignal{sig::kSteerAngleCmd, 7, 16, ByteOrder::kBigEndian, true,
+                  0.01, 0.0},
+        DbcSignal{sig::kSteerEnabled, 23, 1, ByteOrder::kBigEndian, false,
+                  1.0, 0.0},
+    };
+    msgs.push_back(std::move(m));
+  }
+
+  // Longitudinal command: signed milli-m/s^2 acceleration request.
+  {
+    DbcMessage m;
+    m.name = "GAS_BRAKE_COMMAND";
+    m.id = msg_id::kGasBrakeCommand;
+    m.size = 6;
+    m.checksum = ChecksumKind::kHonda;
+    m.signals = {
+        DbcSignal{sig::kAccelCmd, 7, 16, ByteOrder::kBigEndian, true, 0.001,
+                  0.0},
+        DbcSignal{sig::kBrakeRequest, 23, 1, ByteOrder::kBigEndian, false,
+                  1.0, 0.0},
+    };
+    msgs.push_back(std::move(m));
+  }
+
+  // Wheel-speed derived vehicle speed (sensor->ADAS direction).
+  {
+    DbcMessage m;
+    m.name = "SPEED";
+    m.id = msg_id::kSpeed;
+    m.size = 4;
+    m.checksum = ChecksumKind::kHonda;
+    m.signals = {
+        DbcSignal{sig::kSpeed, 7, 16, ByteOrder::kBigEndian, false, 0.01,
+                  0.0},
+    };
+    msgs.push_back(std::move(m));
+  }
+
+  // Steering angle sensor.
+  {
+    DbcMessage m;
+    m.name = "STEER_ANGLE_SENSOR";
+    m.id = msg_id::kSteerAngleSensor;
+    m.size = 4;
+    m.checksum = ChecksumKind::kHonda;
+    m.signals = {
+        DbcSignal{sig::kSteerAngle, 7, 16, ByteOrder::kBigEndian, true, 0.01,
+                  0.0},
+    };
+    msgs.push_back(std::move(m));
+  }
+
+  // HUD message carrying the FCW flag (ADAS->dash direction).
+  {
+    DbcMessage m;
+    m.name = "ACC_HUD";
+    m.id = msg_id::kAccHud;
+    m.size = 3;
+    m.checksum = ChecksumKind::kHonda;
+    m.signals = {
+        DbcSignal{sig::kFcw, 7, 1, ByteOrder::kBigEndian, false, 1.0, 0.0},
+    };
+    msgs.push_back(std::move(m));
+  }
+
+  return Database(std::move(msgs));
+}
+
+}  // namespace scaa::can

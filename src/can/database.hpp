@@ -1,0 +1,61 @@
+#pragma once
+
+/// @file database.hpp
+/// The opendbc-like database for the simulated car.
+///
+/// Message ids and layouts follow the Honda convention the paper shows
+/// (steering control at 0xE4, Fig. 4). Physical units on the wire:
+///   STEERING_CONTROL.STEER_ANGLE_CMD   centi-degrees (signed, +left)
+///   GAS_BRAKE_COMMAND.ACCEL_CMD        milli-m/s^2 (signed)
+///   SPEED.SPEED                        centi-m/s
+/// Every command message carries a Honda checksum + rolling counter.
+
+#include <optional>
+#include <vector>
+
+#include "can/dbc.hpp"
+
+namespace scaa::can {
+
+/// Well-known message ids of the simulated car.
+namespace msg_id {
+inline constexpr std::uint32_t kSteeringControl = 0xE4;
+inline constexpr std::uint32_t kGasBrakeCommand = 0x1FA;
+inline constexpr std::uint32_t kSpeed = 0x158;
+inline constexpr std::uint32_t kSteerAngleSensor = 0x156;
+inline constexpr std::uint32_t kAccHud = 0x30C;
+}  // namespace msg_id
+
+/// Signal names (single source of truth for packer/parser call sites).
+namespace sig {
+inline constexpr const char* kSteerAngleCmd = "STEER_ANGLE_CMD";
+inline constexpr const char* kSteerEnabled = "STEER_ENABLED";
+inline constexpr const char* kAccelCmd = "ACCEL_CMD";
+inline constexpr const char* kBrakeRequest = "BRAKE_REQUEST";
+inline constexpr const char* kSpeed = "SPEED";
+inline constexpr const char* kSteerAngle = "STEER_ANGLE";
+inline constexpr const char* kFcw = "FCW";
+}  // namespace sig
+
+/// In-memory DBC database: lookup by id or name.
+class Database {
+ public:
+  explicit Database(std::vector<DbcMessage> messages);
+
+  /// Message layout by CAN id; nullptr when unknown.
+  const DbcMessage* by_id(std::uint32_t id) const noexcept;
+
+  /// Message layout by name; nullptr when unknown.
+  const DbcMessage* by_name(const std::string& name) const noexcept;
+
+  /// All messages.
+  const std::vector<DbcMessage>& messages() const noexcept { return msgs_; }
+
+  /// Build the database for the simulated car.
+  static Database simulated_car();
+
+ private:
+  std::vector<DbcMessage> msgs_;
+};
+
+}  // namespace scaa::can

@@ -1,0 +1,119 @@
+#include "can/dbc.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace scaa::can {
+
+namespace {
+
+/// Map a Motorola (big-endian) DBC start bit + bit index within the signal
+/// to an absolute bit position in the 64-bit payload viewed as data[0]
+/// being the most significant byte on the wire.
+///
+/// We implement both orders via a common "bit address" walk: for Intel the
+/// signal occupies ascending bit addresses from start_bit; for Motorola the
+/// walk descends within a byte then jumps to the next byte (the classic
+/// sawtooth).
+int next_bit_motorola(int bit) {
+  // bit is an absolute position: byte = bit / 8, intra = bit % 8.
+  const int byte = bit / 8;
+  const int intra = bit % 8;
+  if (intra == 0) return (byte + 1) * 8 + 7;  // wrap to MSB of next byte
+  return byte * 8 + intra - 1;
+}
+
+}  // namespace
+
+std::int64_t DbcSignal::extract_raw(
+    const std::array<std::uint8_t, 8>& data) const {
+  std::uint64_t raw = 0;
+  int bit = start_bit;
+  for (int i = 0; i < size; ++i) {
+    const int byte = bit / 8;
+    const int intra = bit % 8;
+    const std::uint64_t b =
+        (data[static_cast<std::size_t>(byte)] >> intra) & 1u;
+    if (order == ByteOrder::kLittleEndian) {
+      raw |= b << i;
+      ++bit;
+    } else {
+      raw = (raw << 1) | b;
+      bit = next_bit_motorola(bit);
+    }
+  }
+  if (is_signed && size < 64 && (raw & (1ull << (size - 1)))) {
+    // Sign-extend.
+    raw |= ~((1ull << size) - 1);
+  }
+  return static_cast<std::int64_t>(raw);
+}
+
+void DbcSignal::insert_raw(std::array<std::uint8_t, 8>& data,
+                           std::int64_t raw_signed) const {
+  auto raw = static_cast<std::uint64_t>(raw_signed);
+  if (size < 64) raw &= (1ull << size) - 1;
+  int bit = start_bit;
+  for (int i = 0; i < size; ++i) {
+    const int byte = bit / 8;
+    const int intra = bit % 8;
+    std::uint64_t b = 0;
+    if (order == ByteOrder::kLittleEndian) {
+      b = (raw >> i) & 1u;
+      ++bit;
+    } else {
+      b = (raw >> (size - 1 - i)) & 1u;
+    }
+    auto& target = data[static_cast<std::size_t>(byte)];
+    target = static_cast<std::uint8_t>(
+        (target & ~(1u << intra)) | (static_cast<unsigned>(b) << intra));
+    if (order == ByteOrder::kBigEndian) bit = next_bit_motorola(bit);
+  }
+}
+
+double DbcSignal::decode(const std::array<std::uint8_t, 8>& data) const {
+  return static_cast<double>(extract_raw(data)) * factor + offset;
+}
+
+namespace {
+
+/// Raw-range endpoints of a signal (min, max) before scaling.
+std::pair<double, double> raw_range(const DbcSignal& sig) noexcept {
+  if (sig.is_signed) {
+    const double hi =
+        std::ldexp(1.0, sig.size - 1) - 1.0;  // 2^(n-1) - 1
+    return {-std::ldexp(1.0, sig.size - 1), hi};
+  }
+  return {0.0, std::ldexp(1.0, sig.size) - 1.0};  // 2^n - 1
+}
+
+}  // namespace
+
+double DbcSignal::min_physical() const noexcept {
+  const auto [lo, hi] = raw_range(*this);
+  return std::min(lo * factor + offset, hi * factor + offset);
+}
+
+double DbcSignal::max_physical() const noexcept {
+  const auto [lo, hi] = raw_range(*this);
+  return std::max(lo * factor + offset, hi * factor + offset);
+}
+
+void DbcSignal::encode(std::array<std::uint8_t, 8>& data,
+                       double physical) const {
+  const double clamped =
+      std::clamp(physical, min_physical(), max_physical());
+  const auto raw =
+      static_cast<std::int64_t>(std::llround((clamped - offset) / factor));
+  insert_raw(data, raw);
+}
+
+const DbcSignal* DbcMessage::find_signal(
+    const std::string& signal_name) const noexcept {
+  for (const auto& sig : signals)
+    if (sig.name == signal_name) return &sig;
+  return nullptr;
+}
+
+}  // namespace scaa::can

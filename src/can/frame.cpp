@@ -1,0 +1,18 @@
+#include "can/frame.hpp"
+
+#include <iomanip>
+#include <sstream>
+
+namespace scaa::can {
+
+std::string to_string(const CanFrame& frame) {
+  std::ostringstream out;
+  out << std::uppercase << std::hex << std::setfill('0') << std::setw(3)
+      << frame.id << '#' << std::dec << static_cast<int>(frame.dlc) << '/';
+  out << std::hex;
+  for (int i = 0; i < frame.dlc; ++i)
+    out << std::setw(2) << static_cast<int>(frame.data[static_cast<std::size_t>(i)]);
+  return out.str();
+}
+
+}  // namespace scaa::can

@@ -1,0 +1,25 @@
+#pragma once
+
+/// @file frame.hpp
+/// CAN 2.0A data frames.
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace scaa::can {
+
+/// A classic CAN data frame (11-bit identifier, up to 8 data bytes).
+struct CanFrame {
+  std::uint32_t id = 0;                  ///< 11-bit arbitration id
+  std::uint8_t dlc = 8;                  ///< data length code (0..8)
+  std::array<std::uint8_t, 8> data{};    ///< payload, data[0] first on wire
+  std::uint8_t bus = 0;                  ///< bus index (powertrain = 0)
+
+  bool operator==(const CanFrame&) const = default;
+};
+
+/// Render a frame like candump: "0E4#8/1A2B3C4D5E6F0708".
+std::string to_string(const CanFrame& frame);
+
+}  // namespace scaa::can

@@ -1,0 +1,60 @@
+#include "can/packer.hpp"
+
+#include <stdexcept>
+
+namespace scaa::can {
+
+CanFrame CanPacker::pack(const std::string& message_name,
+                         const std::map<std::string, double>& values) {
+  const DbcMessage* layout = db_->by_name(message_name);
+  if (layout == nullptr)
+    throw std::invalid_argument("CanPacker: unknown message " + message_name);
+
+  CanFrame frame;
+  frame.id = layout->id;
+  frame.dlc = layout->size;
+
+  for (const auto& [name, value] : values) {
+    const DbcSignal* sig = layout->find_signal(name);
+    if (sig == nullptr)
+      throw std::invalid_argument("CanPacker: unknown signal " + name +
+                                  " in " + message_name);
+    sig->encode(frame.data, value);
+  }
+
+  if (layout->checksum == ChecksumKind::kHonda) {
+    auto& counter = counters_[layout->id];
+    write_counter(frame, counter);
+    counter = static_cast<std::uint8_t>((counter + 1) & 0x3);
+    apply_honda_checksum(frame);
+  }
+  return frame;
+}
+
+std::optional<CanParser::Parsed> CanParser::parse(const CanFrame& frame) {
+  const DbcMessage* layout = db_->by_id(frame.id);
+  if (layout == nullptr) return std::nullopt;
+
+  Parsed out;
+  out.message = layout;
+
+  if (layout->checksum == ChecksumKind::kHonda) {
+    out.checksum_ok = verify_honda_checksum(frame);
+    if (!out.checksum_ok) ++checksum_errors_;
+
+    const std::uint8_t counter = read_counter(frame);
+    const auto it = last_counter_.find(frame.id);
+    if (it != last_counter_.end()) {
+      const auto expected = static_cast<std::uint8_t>((it->second + 1) & 0x3);
+      out.counter_ok = counter == expected;
+      if (!out.counter_ok) ++counter_errors_;
+    }
+    last_counter_[frame.id] = counter;
+  }
+
+  for (const auto& sig : layout->signals)
+    out.values[sig.name] = sig.decode(frame.data);
+  return out;
+}
+
+}  // namespace scaa::can

@@ -1,0 +1,64 @@
+#pragma once
+
+/// @file packer.hpp
+/// Frame construction and parsing against a DBC database
+/// (the CanPacker / CanParser pair, as in OpenPilot).
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "can/checksum.hpp"
+#include "can/database.hpp"
+
+namespace scaa::can {
+
+/// Builds checksummed, counted frames from signal values.
+class CanPacker {
+ public:
+  /// The database is borrowed and must outlive the packer.
+  explicit CanPacker(const Database& db) : db_(&db) {}
+
+  /// Build a frame for @p message_name from named physical values. Signals
+  /// not listed are encoded as zero. Applies checksum and advances the
+  /// per-message rolling counter. Throws std::invalid_argument for unknown
+  /// message or signal names.
+  CanFrame pack(const std::string& message_name,
+                const std::map<std::string, double>& values);
+
+ private:
+  const Database* db_;
+  std::map<std::uint32_t, std::uint8_t> counters_;
+};
+
+/// Decodes frames and validates integrity.
+class CanParser {
+ public:
+  explicit CanParser(const Database& db) : db_(&db) {}
+
+  /// Decoded result of one frame.
+  struct Parsed {
+    const DbcMessage* message = nullptr;  ///< layout (borrowed from the db)
+    std::map<std::string, double> values; ///< signal name -> physical value
+    bool checksum_ok = true;
+    bool counter_ok = true;               ///< counter advanced as expected
+  };
+
+  /// Parse a frame. Unknown ids return std::nullopt. Counter continuity is
+  /// tracked per message id across calls.
+  std::optional<Parsed> parse(const CanFrame& frame);
+
+  /// Number of frames rejected due to bad checksums so far.
+  std::uint64_t checksum_errors() const noexcept { return checksum_errors_; }
+
+  /// Number of counter discontinuities seen so far.
+  std::uint64_t counter_errors() const noexcept { return counter_errors_; }
+
+ private:
+  const Database* db_;
+  std::map<std::uint32_t, std::uint8_t> last_counter_;
+  std::uint64_t checksum_errors_ = 0;
+  std::uint64_t counter_errors_ = 0;
+};
+
+}  // namespace scaa::can

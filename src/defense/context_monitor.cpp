@@ -1,0 +1,43 @@
+#include "defense/context_monitor.hpp"
+
+#include <cmath>
+
+namespace scaa::defense {
+
+bool ContextAwareMonitor::update(const MonitorInputs& in,
+                                 double dt) noexcept {
+  clock_ += dt;
+  const attack::ContextMatch match = table_.match(in.context);
+
+  // Which control actions are currently being exercised on the wire?
+  const bool accelerating = in.wire_accel > config_.accel_on;
+  const bool braking = -in.wire_accel > config_.brake_on;
+  const double steer_offset = in.wire_steer - in.nominal_steer;
+  const bool steering_left = steer_offset > config_.steer_on;
+  const bool steering_right = -steer_offset > config_.steer_on;
+
+  const bool exercised[4] = {accelerating, braking, steering_left,
+                             steering_right};
+
+  bool any_alarm = false;
+  for (std::size_t i = 0; i < 4; ++i) {
+    const bool unsafe =
+        exercised[i] &&
+        match.enabled(static_cast<attack::UnsafeAction>(i));
+    if (!unsafe) {
+      unsafe_since_[i] = -1.0;
+      continue;
+    }
+    if (unsafe_since_[i] < 0.0) unsafe_since_[i] = clock_;
+    if (clock_ - unsafe_since_[i] >= config_.persistence) {
+      any_alarm = true;
+      if (alarm_time_ < 0.0) {
+        alarm_time_ = clock_;
+        alarm_action_ = static_cast<attack::UnsafeAction>(i);
+      }
+    }
+  }
+  return any_alarm;
+}
+
+}  // namespace scaa::defense

@@ -1,0 +1,68 @@
+#pragma once
+
+/// @file context_monitor.hpp
+/// Context-aware safety monitoring — the defender's mirror of the
+/// attacker's Table I (after Zhou et al., DSN'21, cited by the paper as a
+/// candidate defense).
+///
+/// The monitor watches the same system context the attacker infers (headway
+/// time, relative speed, lane-edge distances) and the control actions on
+/// the wire, and alarms when an *unsafe control action in the current
+/// context* persists: accelerating while closing on a near lead, sustained
+/// braking with clear road, steering toward an edge the car is already on.
+/// Unlike the firmware envelope checks, this catches in-envelope values —
+/// exactly the gap the paper's strategic corruption exploits.
+
+#include "attack/context.hpp"
+#include "attack/context_table.hpp"
+
+namespace scaa::defense {
+
+/// Tuning of the context monitor.
+struct MonitorConfig {
+  attack::ContextTableParams table;  ///< same thresholds as the hazard analysis
+  double accel_on = 0.5;     ///< [m/s^2] commanded accel that counts as "accelerate"
+  double brake_on = 1.2;     ///< [m/s^2] commanded decel that counts as "brake"
+  double steer_on = 0.0035;  ///< [rad] (~0.2 deg) commanded offset that counts as "steer"
+  double persistence = 1.0;  ///< [s] unsafe action must persist this long.
+                             ///< The legitimate planner's wander reverses
+                             ///< within a second; an attack holds its
+                             ///< direction until the hazard.
+};
+
+/// Inputs per control cycle.
+struct MonitorInputs {
+  attack::SafetyContext context;  ///< inferred system context
+  double wire_accel = 0.0;        ///< accel command on the CAN bus [m/s^2]
+  double wire_steer = 0.0;        ///< steering command on the CAN bus [rad]
+  double nominal_steer = 0.0;     ///< road-curvature feed-forward [rad]
+};
+
+/// The monitor. Stateless rule evaluation + persistence windows.
+class ContextAwareMonitor {
+ public:
+  explicit ContextAwareMonitor(MonitorConfig config) noexcept
+      : config_(config), table_(config.table) {}
+
+  /// Feed one cycle; returns true while an unsafe-action alarm is active.
+  bool update(const MonitorInputs& in, double dt) noexcept;
+
+  /// True once alarmed at least once.
+  bool alarmed() const noexcept { return alarm_time_ >= 0.0; }
+
+  /// Clock time of the first alarm; negative when never.
+  double alarm_time() const noexcept { return alarm_time_; }
+
+  /// Which unsafe action triggered the first alarm.
+  attack::UnsafeAction alarm_action() const noexcept { return alarm_action_; }
+
+ private:
+  MonitorConfig config_;
+  attack::ContextTable table_;
+  double unsafe_since_[4] = {-1.0, -1.0, -1.0, -1.0};
+  double clock_ = 0.0;
+  double alarm_time_ = -1.0;
+  attack::UnsafeAction alarm_action_ = attack::UnsafeAction::kAcceleration;
+};
+
+}  // namespace scaa::defense

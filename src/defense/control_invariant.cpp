@@ -1,0 +1,38 @@
+#include "defense/control_invariant.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/math.hpp"
+
+namespace scaa::defense {
+
+bool ControlInvariantDetector::update(const InvariantInputs& in,
+                                      double dt) noexcept {
+  clock_ += dt;
+
+  // --- physics channel: wire command -> expected response ---------------
+  const double alpha = dt / (config_.accel_model_tc + dt);
+  expected_accel_ = math::lowpass(expected_accel_, in.wire_accel, alpha);
+  const double physics_residual =
+      std::abs(in.measured_accel - expected_accel_) /
+      config_.accel_residual_std;
+  physics_cusum_ = std::max(
+      0.0, physics_cusum_ + physics_residual - config_.cusum_drift);
+
+  // --- intent channel: published carControl vs decoded CAN --------------
+  const double accel_err =
+      std::abs(in.intent_accel - in.wire_accel) / config_.intent_accel_tol;
+  const double steer_err =
+      std::abs(in.intent_steer - in.wire_steer) / config_.intent_steer_tol;
+  const double intent_residual = std::max(accel_err, steer_err);
+  intent_cusum_ = std::max(
+      0.0, intent_cusum_ + intent_residual - config_.cusum_drift);
+
+  const bool alarm = physics_cusum_ > config_.cusum_threshold ||
+                     intent_cusum_ > config_.cusum_threshold;
+  if (alarm && alarm_time_ < 0.0) alarm_time_ = clock_;
+  return alarm;
+}
+
+}  // namespace scaa::defense

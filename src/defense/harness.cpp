@@ -1,0 +1,80 @@
+#include "defense/harness.hpp"
+
+#include <cmath>
+
+#include "util/units.hpp"
+
+namespace scaa::defense {
+
+DefenseHarness::DefenseHarness(sim::World& world,
+                               InvariantConfig invariant_config,
+                               MonitorConfig monitor_config)
+    : world_(&world),
+      invariant_(invariant_config),
+      monitor_(monitor_config),
+      inference_(world.message_bus(), 0.9),
+      car_control_(world.message_bus()),
+      tap_parser_(world.dbc()) {
+  world.can().attach_tap([this](const can::CanFrame& frame) {
+    const auto parsed = tap_parser_.parse(frame);
+    if (!parsed.has_value() || !parsed->checksum_ok) return;
+    if (frame.id == can::msg_id::kSteeringControl) {
+      wire_steer_ =
+          units::deg_to_rad(parsed->values.at(can::sig::kSteerAngleCmd));
+    } else if (frame.id == can::msg_id::kGasBrakeCommand) {
+      wire_accel_ = parsed->values.at(can::sig::kAccelCmd);
+    }
+  });
+}
+
+DefenseOutcome DefenseHarness::run(sim::SimulationSummary* summary_out) {
+  const double dt = 0.01;
+  while (world_->step()) {
+    const auto& ego = world_->ego_state();
+
+    InvariantInputs inv;
+    inv.intent_accel = car_control_.value().accel;
+    inv.intent_steer = car_control_.value().steer_angle;
+    inv.wire_accel = wire_accel_;
+    inv.wire_steer = wire_steer_;
+    inv.measured_accel = ego.accel;
+    inv.measured_steer = ego.steer_angle;
+    invariant_.update(inv, dt);
+
+    MonitorInputs mon;
+    mon.context = inference_.infer(world_->time());
+    mon.wire_accel = wire_accel_;
+    mon.wire_steer = wire_steer_;
+    mon.nominal_steer = std::atan(
+        2.7 * world_->road().curvature_at(ego.s));
+    monitor_.update(mon, dt);
+  }
+
+  const auto summary = world_->summarize();
+  if (summary_out != nullptr) *summary_out = summary;
+
+  DefenseOutcome out;
+  out.invariant_alarmed = invariant_.alarmed();
+  out.invariant_time = invariant_.alarm_time();
+  out.monitor_alarmed = monitor_.alarmed();
+  out.monitor_time = monitor_.alarm_time();
+  if (summary.attack_activated) {
+    if (out.invariant_alarmed &&
+        out.invariant_time >= summary.attack_start)
+      out.invariant_latency = out.invariant_time - summary.attack_start;
+    if (out.monitor_alarmed && out.monitor_time >= summary.attack_start)
+      out.monitor_latency = out.monitor_time - summary.attack_start;
+  }
+  const double first_alarm =
+      out.invariant_alarmed
+          ? (out.monitor_alarmed
+                 ? std::min(out.invariant_time, out.monitor_time)
+                 : out.invariant_time)
+          : out.monitor_time;
+  out.detected_before_hazard =
+      (out.invariant_alarmed || out.monitor_alarmed) &&
+      (!summary.any_hazard || first_alarm < summary.first_hazard_time);
+  return out;
+}
+
+}  // namespace scaa::defense

@@ -1,0 +1,59 @@
+#pragma once
+
+/// @file harness.hpp
+/// Wires the defense detectors onto a live simulation, exactly the way a
+/// retrofit monitoring ECU would: subscribe to the pub/sub bus, tap the CAN
+/// bus, and read the car's own motion — no cooperation from the (possibly
+/// compromised) command path required.
+
+#include <memory>
+
+#include "attack/context.hpp"
+#include "can/packer.hpp"
+#include "defense/context_monitor.hpp"
+#include "defense/control_invariant.hpp"
+#include "sim/world.hpp"
+
+namespace scaa::defense {
+
+/// Outcome of running the defenses over one simulation.
+struct DefenseOutcome {
+  bool invariant_alarmed = false;
+  double invariant_time = -1.0;  ///< [s] first control-invariant alarm
+  bool monitor_alarmed = false;
+  double monitor_time = -1.0;    ///< [s] first context-monitor alarm
+  /// Detection latency vs. the attack: alarm time - attack start; negative
+  /// when not applicable (no attack or no alarm).
+  double invariant_latency = -1.0;
+  double monitor_latency = -1.0;
+  /// Did any alarm precede the first hazard?
+  bool detected_before_hazard = false;
+};
+
+/// Attaches both detectors to a world and steps it to completion.
+class DefenseHarness {
+ public:
+  DefenseHarness(sim::World& world, InvariantConfig invariant_config,
+                 MonitorConfig monitor_config);
+
+  /// Run the world to the end, feeding the detectors every cycle.
+  /// Returns the defense outcome alongside the usual summary.
+  DefenseOutcome run(sim::SimulationSummary* summary_out = nullptr);
+
+  const ControlInvariantDetector& invariant() const noexcept {
+    return invariant_;
+  }
+  const ContextAwareMonitor& monitor() const noexcept { return monitor_; }
+
+ private:
+  sim::World* world_;
+  ControlInvariantDetector invariant_;
+  ContextAwareMonitor monitor_;
+  attack::ContextInference inference_;
+  msg::Latest<msg::CarControl> car_control_;
+  can::CanParser tap_parser_;
+  double wire_accel_ = 0.0;
+  double wire_steer_ = 0.0;
+};
+
+}  // namespace scaa::defense

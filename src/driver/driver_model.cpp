@@ -1,0 +1,117 @@
+#include "driver/driver_model.hpp"
+
+#include <cmath>
+
+#include "util/math.hpp"
+
+namespace scaa::driver {
+
+double brake_ramp(double t) noexcept {
+  // Eq. 4: e^{10t-12} / (1 + e^{10t-12}), numerically safe for large t.
+  const double z = 10.0 * t - 12.0;
+  if (z > 30.0) return 1.0;
+  const double e = std::exp(z);
+  return e / (1.0 + e);
+}
+
+AnomalyKind DriverModel::classify(const DriverObservation& obs) const noexcept {
+  if (obs.adas_alert) return AnomalyKind::kAlert;
+  if (obs.accel_cmd > config_.accel_anomaly) return AnomalyKind::kAcceleration;
+  if (-obs.accel_cmd > config_.brake_anomaly) return AnomalyKind::kBraking;
+  // Steering feels anomalous relative to what the road demands.
+  if (std::abs(obs.steer_cmd - obs.nominal_steer) > config_.steer_anomaly)
+    return AnomalyKind::kSteering;
+  if (obs.cruise_speed > 0.0 &&
+      obs.speed > config_.speed_factor_anomaly * obs.cruise_speed)
+    return AnomalyKind::kOverspeed;
+  return AnomalyKind::kNone;
+}
+
+std::optional<vehicle::ActuatorCommand> DriverModel::step(
+    const DriverObservation& obs, double time, double /*dt*/) noexcept {
+  switch (phase_) {
+    case DriverPhase::kMonitoring: {
+      const AnomalyKind kind = classify(obs);
+      if (kind != AnomalyKind::kNone) {
+        anomaly_ = kind;
+        perception_time_ = time;
+        phase_ = DriverPhase::kReacting;
+      }
+      return std::nullopt;
+    }
+
+    case DriverPhase::kReacting:
+      if (time - perception_time_ >= config_.reaction_time) {
+        engage_time_ = time;
+        phase_ = DriverPhase::kEngaged;
+        break;  // fall through to engaged handling below
+      }
+      return std::nullopt;
+
+    case DriverPhase::kEngaged:
+      break;
+  }
+
+  const double t_since = time - engage_time_;
+  const double urgency = brake_ramp(t_since);
+  vehicle::ActuatorCommand cmd;
+
+  switch (anomaly_) {
+    case AnomalyKind::kBraking:
+      // Unintended braking: take over and restore normal driving.
+      cmd.accel = math::clamp(
+          config_.recover_gain * (obs.cruise_speed - obs.speed), -2.0, 1.5);
+      break;
+    case AnomalyKind::kAlert:
+    case AnomalyKind::kSteering:
+      // Wheel misbehaving: grip it, slow to a comfortable speed, stay in
+      // the lane — not a panic stop.
+      cmd.accel = math::clamp(
+          config_.recover_gain * (0.7 * obs.cruise_speed - obs.speed), -3.0,
+          0.5);
+      break;
+    case AnomalyKind::kAcceleration:
+    case AnomalyKind::kOverspeed:
+    case AnomalyKind::kNone: {
+      // Surging forward: the paper's hard-brake response, Eq. 4. An
+      // imminent lead collision triggers a latched panic stop (the paper's
+      // "Ego may stop in the middle of a lane" new-hazard path); otherwise
+      // the driver brakes only until the surge is resolved, then resumes.
+      const bool imminent =
+          obs.lead_visible && obs.lead_rel_speed < -2.0 &&
+          obs.lead_gap < 0.8 * obs.speed;
+      if (imminent) panic_ = true;
+      const bool overspeed = obs.speed > 1.02 * obs.cruise_speed;
+      if (!panic_ && !overspeed) danger_over_ = true;
+      if (panic_ || (!danger_over_ && overspeed)) {
+        cmd.accel = -config_.max_brake * urgency;
+      } else {
+        cmd.accel = math::clamp(
+            config_.recover_gain * (obs.cruise_speed - obs.speed), -2.0, 1.5);
+      }
+      break;
+    }
+  }
+
+  // The human keeps watching traffic: never drive into a visible lead.
+  if (obs.lead_visible) {
+    const double desired_gap = 4.0 + 1.2 * obs.speed;
+    const double follow = 0.1 * (obs.lead_gap - desired_gap) +
+                          0.6 * obs.lead_rel_speed;
+    if (follow < cmd.accel)
+      cmd.accel = math::clamp(follow, -config_.max_brake, cmd.accel);
+  }
+
+  // Steering: curvature feed-forward (road feel) plus damped re-centering
+  // with the same urgency profile as the pedal response.
+  const double ff = std::atan(wheelbase_ * obs.road_curvature);
+  const double correction = math::clamp(
+      (-config_.steer_correction_gain * obs.center_offset +
+       config_.steer_damping_gain * obs.heading_error) *
+          urgency,
+      -config_.max_correction_angle, config_.max_correction_angle);
+  cmd.steer_angle = ff + correction;
+  return cmd;
+}
+
+}  // namespace scaa::driver

@@ -1,0 +1,114 @@
+#pragma once
+
+/// @file driver_model.hpp
+/// Human driver reaction simulator (paper §IV-B).
+///
+/// The simulated driver is alerted by (a) any ADAS alarm, or (b) anomalies
+/// in the observable vehicle status: hard braking, unexpected acceleration
+/// or steering beyond the documented limits, or speed exceeding 110% of the
+/// cruise set speed. Even single-step (10 ms) anomalies attract attention
+/// (the paper's conservative choice, making attacks harder). The driver
+/// physically engages 2.5 s after perception (average driver reaction time)
+/// and responds according to what felt wrong:
+///  * unintended acceleration / steering / ADAS alarm -> emergency brake
+///    following the exponential curve of Eq. 4,
+///        brake(t) = e^{10t-12} / (1 + e^{10t-12}),
+///    plus steering back toward the lane centre;
+///  * unintended braking -> takes over and restores normal driving
+///    (releases the brake, resumes the set speed).
+
+#include <optional>
+
+#include "vehicle/vehicle.hpp"
+
+namespace scaa::driver {
+
+/// Anomaly thresholds: the OpenPilot limits a driver implicitly calibrates
+/// to ("the car never does more than this on its own").
+struct DriverConfig {
+  double reaction_time = 2.5;        ///< [s] perception-to-action delay
+  double accel_anomaly = 2.0;        ///< [m/s^2] accel beyond this is anomalous
+  double brake_anomaly = 3.5;        ///< [m/s^2] braking beyond this is anomalous
+  double steer_anomaly = 0.0436;     ///< [rad] ~2.5 deg command deviation
+  double speed_factor_anomaly = 1.1; ///< speed > 1.1 x cruise is anomalous
+  double max_brake = 8.0;            ///< [m/s^2] driver's emergency braking
+  double recover_gain = 0.3;         ///< [1/s] speed P gain when recovering
+  double steer_correction_gain = 0.012;  ///< [rad/m] re-centering P gain
+  double steer_damping_gain = 0.35;      ///< [rad/rad] heading-error damping
+  double max_correction_angle = 0.05;    ///< [rad] (~3 deg) correction clip
+};
+
+/// What the driver can observe each step.
+struct DriverObservation {
+  bool adas_alert = false;    ///< any active ADAS alert (FCW, steerSaturated)
+  double accel_cmd = 0.0;     ///< executed accel command [m/s^2]
+  double steer_cmd = 0.0;     ///< executed steering command [rad]
+  double nominal_steer = 0.0; ///< road-appropriate angle (curvature feel) [rad]
+  double speed = 0.0;         ///< [m/s]
+  double cruise_speed = 0.0;  ///< [m/s]
+  double center_offset = 0.0; ///< lane-centre offset, +left [m]
+  double heading_error = 0.0; ///< road heading minus vehicle heading [rad]
+  double road_curvature = 0.0;///< [1/m]
+  bool lead_visible = false;  ///< a vehicle ahead within visual range
+  double lead_gap = 0.0;      ///< [m] gap to it
+  double lead_rel_speed = 0.0;///< [m/s] lead speed minus own speed
+};
+
+/// What kind of anomaly the driver perceived (shapes the response).
+enum class AnomalyKind {
+  kNone,
+  kAlert,        ///< ADAS raised an alarm
+  kAcceleration, ///< surging forward
+  kBraking,      ///< braking for no reason
+  kSteering,     ///< wheel moving on its own
+  kOverspeed,    ///< faster than the set speed allows
+};
+
+/// Phase of the driver state machine.
+enum class DriverPhase { kMonitoring, kReacting, kEngaged };
+
+/// The driver model. Once engaged, the driver overrides the ADAS until the
+/// end of the simulation (matching the paper's setup where the attack also
+/// stops on engagement).
+class DriverModel {
+ public:
+  explicit DriverModel(DriverConfig config, double wheelbase) noexcept
+      : config_(config), wheelbase_(wheelbase) {}
+
+  /// Advance one step. Returns the driver's actuator override when engaged,
+  /// std::nullopt while the ADAS is still in control.
+  std::optional<vehicle::ActuatorCommand> step(
+      const DriverObservation& obs, double time, double dt) noexcept;
+
+  DriverPhase phase() const noexcept { return phase_; }
+
+  /// Time the anomaly/alert was first perceived; negative when never.
+  double perception_time() const noexcept { return perception_time_; }
+
+  /// Time the driver physically engaged; negative when never.
+  double engage_time() const noexcept { return engage_time_; }
+
+  /// True once the driver has taken over.
+  bool engaged() const noexcept { return phase_ == DriverPhase::kEngaged; }
+
+  /// What tripped the driver's attention.
+  AnomalyKind perceived_anomaly() const noexcept { return anomaly_; }
+
+ private:
+  AnomalyKind classify(const DriverObservation& obs) const noexcept;
+
+  DriverConfig config_;
+  double wheelbase_;
+  DriverPhase phase_ = DriverPhase::kMonitoring;
+  AnomalyKind anomaly_ = AnomalyKind::kNone;
+  double perception_time_ = -1.0;
+  double engage_time_ = -1.0;
+  bool panic_ = false;        ///< latched: imminent lead collision -> full stop
+  bool danger_over_ = false;  ///< latched: surging resolved -> resume driving
+};
+
+/// The paper's Eq. 4 brake ramp: fraction of full braking @p t seconds
+/// after engagement.
+double brake_ramp(double t) noexcept;
+
+}  // namespace scaa::driver

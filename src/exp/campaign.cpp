@@ -1,0 +1,103 @@
+#include "exp/campaign.hpp"
+
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace scaa::exp {
+
+std::vector<CampaignItem> make_grid(attack::StrategyKind strategy,
+                                    bool strategic_values, bool driver_enabled,
+                                    int repetitions,
+                                    std::uint64_t base_seed) {
+  std::vector<CampaignItem> items;
+  std::uint64_t counter = 0;
+  for (const attack::AttackType type : attack::kAllAttackTypes) {
+    for (int sid = 1; sid <= 4; ++sid) {
+      for (const double gap : sim::Scenario::kGaps) {
+        for (int rep = 0; rep < repetitions; ++rep) {
+          CampaignItem item;
+          item.strategy = strategy;
+          item.type = type;
+          item.strategic_values = strategic_values;
+          item.driver_enabled = driver_enabled;
+          item.scenario_id = sid;
+          item.initial_gap = gap;
+          // Seed derivation: stable across grid orderings.
+          std::uint64_t mix = base_seed ^ (counter * 0x9E3779B97F4A7C15ull);
+          item.seed = util::splitmix64(mix);
+          ++counter;
+          items.push_back(item);
+        }
+      }
+    }
+  }
+  return items;
+}
+
+sim::WorldConfig world_config_for(const CampaignItem& item) {
+  sim::WorldConfig cfg;
+  cfg.scenario = sim::Scenario::make(item.scenario_id, item.initial_gap);
+  cfg.seed = item.seed;
+  cfg.driver_enabled = item.driver_enabled;
+  cfg.attack_enabled = item.strategy != attack::StrategyKind::kNone;
+  cfg.attack.strategy = item.strategy;
+  cfg.attack.type = item.type;
+  cfg.attack.strategic_values = item.strategic_values;
+  return cfg;
+}
+
+std::vector<CampaignResult> run_campaign(const std::vector<CampaignItem>& items,
+                                         const CampaignConfig& config) {
+  std::vector<CampaignResult> results(items.size());
+  ThreadPool pool(config.threads);
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    pool.submit([&items, &results, i] {
+      const CampaignItem& item = items[i];
+      sim::World world(world_config_for(item));
+      results[i] = CampaignResult{item, world.run()};
+    });
+  }
+  pool.wait_idle();
+  return results;
+}
+
+double Aggregate::hazard_fraction() const noexcept {
+  return simulations
+             ? static_cast<double>(sims_with_hazards) / static_cast<double>(simulations)
+             : 0.0;
+}
+
+double Aggregate::accident_fraction() const noexcept {
+  return simulations
+             ? static_cast<double>(sims_with_accidents) / static_cast<double>(simulations)
+             : 0.0;
+}
+
+double Aggregate::alert_fraction() const noexcept {
+  return simulations
+             ? static_cast<double>(sims_with_alerts) / static_cast<double>(simulations)
+             : 0.0;
+}
+
+Aggregate aggregate(const std::vector<CampaignResult>& results) {
+  Aggregate agg;
+  util::RunningStats invasion_rate;
+  util::RunningStats tth;
+  for (const auto& r : results) {
+    ++agg.simulations;
+    const auto& s = r.summary;
+    if (s.alert_events > 0) ++agg.sims_with_alerts;
+    if (s.any_hazard) ++agg.sims_with_hazards;
+    if (s.any_accident) ++agg.sims_with_accidents;
+    if (s.any_hazard && s.alert_events == 0) ++agg.hazards_without_alerts;
+    agg.fcw_activations += s.fcw_events;
+    invasion_rate.add(s.lane_invasion_rate);
+    if (s.tth >= 0.0) tth.add(s.tth);
+  }
+  agg.lane_invasion_rate_mean = invasion_rate.mean();
+  agg.tth_mean = tth.mean();
+  agg.tth_std = tth.stddev();
+  return agg;
+}
+
+}  // namespace scaa::exp

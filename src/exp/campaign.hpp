@@ -1,0 +1,80 @@
+#pragma once
+
+/// @file campaign.hpp
+/// Batch experiment execution over the scenario x attack grid.
+///
+/// The paper's grid: 6 attack types x 4 scenarios x 3 initial gaps x 20
+/// repetitions = 1,440 simulations per strategy (14,400 for Random-ST+DUR,
+/// which uses 200 repetitions for parameter-space coverage). Each simulation
+/// is a pure function of its CampaignItem, so the runner parallelizes over
+/// a thread pool with bit-identical results at any thread count.
+
+#include <cstdint>
+#include <vector>
+
+#include "exp/thread_pool.hpp"
+#include "sim/world.hpp"
+
+namespace scaa::exp {
+
+/// One cell of the campaign grid.
+struct CampaignItem {
+  attack::StrategyKind strategy = attack::StrategyKind::kNone;
+  attack::AttackType type = attack::AttackType::kAcceleration;
+  bool strategic_values = true;
+  bool driver_enabled = true;
+  int scenario_id = 1;       ///< 1..4
+  double initial_gap = 100;  ///< [m]
+  std::uint64_t seed = 1;    ///< unique per simulation
+};
+
+/// Item + outcome.
+struct CampaignResult {
+  CampaignItem item;
+  sim::SimulationSummary summary;
+};
+
+/// Campaign-wide knobs.
+struct CampaignConfig {
+  std::uint64_t base_seed = 2022;  ///< mixed into every item's seed
+  int repetitions = 20;            ///< paper: 20 per (type, scenario, gap)
+  std::size_t threads = 0;         ///< 0 = hardware concurrency
+};
+
+/// Build the full item grid for one strategy (paper Table III row).
+/// @p repetitions overrides config-level repetitions when > 0.
+std::vector<CampaignItem> make_grid(attack::StrategyKind strategy,
+                                    bool strategic_values, bool driver_enabled,
+                                    int repetitions,
+                                    std::uint64_t base_seed);
+
+/// Construct the WorldConfig for one item (the single place where
+/// calibration defaults live — tests and benches share it).
+sim::WorldConfig world_config_for(const CampaignItem& item);
+
+/// Run every item; results are returned in item order (deterministic).
+std::vector<CampaignResult> run_campaign(const std::vector<CampaignItem>& items,
+                                         const CampaignConfig& config);
+
+/// Aggregate counters over a set of results (one Table IV row).
+struct Aggregate {
+  std::size_t simulations = 0;
+  std::size_t sims_with_alerts = 0;
+  std::size_t sims_with_hazards = 0;
+  std::size_t sims_with_accidents = 0;
+  std::size_t hazards_without_alerts = 0;  ///< hazard and no alert at all
+  std::size_t fcw_activations = 0;
+  double lane_invasion_rate_mean = 0.0;
+  double tth_mean = 0.0;
+  double tth_std = 0.0;
+
+  /// Fraction helpers.
+  double hazard_fraction() const noexcept;
+  double accident_fraction() const noexcept;
+  double alert_fraction() const noexcept;
+};
+
+/// Reduce results into an Aggregate.
+Aggregate aggregate(const std::vector<CampaignResult>& results);
+
+}  // namespace scaa::exp

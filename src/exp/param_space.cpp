@@ -1,0 +1,127 @@
+#include "exp/param_space.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+#include "util/csv.hpp"
+#include "util/rng.hpp"
+
+namespace scaa::exp {
+
+namespace {
+
+/// Run one simulation with an optional forced attack window; returns the
+/// realized (start, duration, hazardous) triple.
+ParamSpacePoint run_point(const ParamSpaceConfig& cfg,
+                          attack::StrategyKind strategy, double forced_start,
+                          double forced_duration, std::uint64_t seed) {
+  CampaignItem item;
+  item.strategy = strategy;
+  item.type = cfg.type;
+  item.strategic_values = strategy == attack::StrategyKind::kContextAware;
+  item.driver_enabled = true;
+  item.scenario_id = cfg.scenario_id;
+  item.initial_gap = cfg.initial_gap;
+  item.seed = seed;
+
+  sim::WorldConfig wc = world_config_for(item);
+  wc.attack.strategy_params.forced_start = forced_start;
+  wc.attack.strategy_params.forced_duration = forced_duration;
+
+  sim::World world(std::move(wc));
+  const sim::SimulationSummary s = world.run();
+
+  ParamSpacePoint point;
+  point.strategy = strategy;
+  point.start_time = s.attack_start >= 0.0
+                         ? s.attack_start
+                         : (forced_start >= 0.0 ? forced_start : -1.0);
+  point.duration =
+      s.attack_duration > 0.0 ? s.attack_duration : forced_duration;
+  point.hazardous = s.any_hazard;
+  return point;
+}
+
+}  // namespace
+
+std::vector<ParamSpacePoint> run_param_space(const ParamSpaceConfig& cfg) {
+  struct Job {
+    attack::StrategyKind strategy;
+    double start;
+    double duration;
+    std::uint64_t seed;
+  };
+  std::vector<Job> jobs;
+
+  // Background grid: deterministic Random-ST+DUR windows.
+  std::uint64_t sm = cfg.base_seed;
+  for (int i = 0; i < cfg.grid_starts; ++i) {
+    const double t = cfg.grid_starts > 1
+                         ? static_cast<double>(i) / (cfg.grid_starts - 1)
+                         : 0.0;
+    const double start = cfg.min_start + t * (cfg.max_start - cfg.min_start);
+    for (int j = 0; j < cfg.grid_durations; ++j) {
+      const double u = cfg.grid_durations > 1
+                           ? static_cast<double>(j) / (cfg.grid_durations - 1)
+                           : 0.0;
+      const double dur =
+          cfg.min_duration + u * (cfg.max_duration - cfg.min_duration);
+      jobs.push_back({attack::StrategyKind::kRandomStDur, start, dur,
+                      util::splitmix64(sm)});
+    }
+  }
+  // Overlays: Random-ST (fixed duration), Random-DUR and Context-Aware
+  // use their own stochastic/contextual timing.
+  for (int r = 0; r < cfg.overlay_runs; ++r) {
+    jobs.push_back({attack::StrategyKind::kRandomSt, -1.0, -1.0,
+                    util::splitmix64(sm)});
+    jobs.push_back({attack::StrategyKind::kRandomDur, -1.0, -1.0,
+                    util::splitmix64(sm)});
+    jobs.push_back({attack::StrategyKind::kContextAware, -1.0, -1.0,
+                    util::splitmix64(sm)});
+  }
+
+  std::vector<ParamSpacePoint> points(jobs.size());
+  ThreadPool pool(cfg.threads);
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    pool.submit([&cfg, &jobs, &points, i] {
+      const Job& job = jobs[i];
+      points[i] =
+          run_point(cfg, job.strategy, job.start, job.duration, job.seed);
+    });
+  }
+  pool.wait_idle();
+
+  // Drop overlay runs whose attack never activated (no point to plot).
+  points.erase(std::remove_if(points.begin(), points.end(),
+                              [](const ParamSpacePoint& p) {
+                                return p.start_time < 0.0;
+                              }),
+               points.end());
+  return points;
+}
+
+void write_param_space_csv(const std::vector<ParamSpacePoint>& points,
+                           std::ostream& out) {
+  util::CsvWriter csv(out);
+  csv.header({"strategy", "start_time", "duration", "hazardous"});
+  for (const auto& p : points) {
+    csv.row()
+        .cell(attack::to_string(p.strategy))
+        .cell(p.start_time)
+        .cell(p.duration)
+        .cell(p.hazardous);
+    csv.end_row();
+  }
+}
+
+double estimate_critical_time(const std::vector<ParamSpacePoint>& points) {
+  double earliest = -1.0;
+  for (const auto& p : points) {
+    if (!p.hazardous) continue;
+    if (earliest < 0.0 || p.start_time < earliest) earliest = p.start_time;
+  }
+  return earliest;
+}
+
+}  // namespace scaa::exp

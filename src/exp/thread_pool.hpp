@@ -1,0 +1,52 @@
+#pragma once
+
+/// @file thread_pool.hpp
+/// Fixed-size worker pool for fanning out independent simulations.
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace scaa::exp {
+
+/// A minimal work-stealing-free thread pool. Tasks are void() closures;
+/// results travel through the closures themselves (the campaign layer
+/// pre-allocates one result slot per simulation so no synchronization is
+/// needed beyond the queue).
+class ThreadPool {
+ public:
+  /// Spin up @p threads workers (>= 1; pass 0 for hardware concurrency).
+  explicit ThreadPool(std::size_t threads);
+
+  /// Drains the queue and joins all workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueue a task. Throws std::runtime_error after shutdown started.
+  void submit(std::function<void()> task);
+
+  /// Block until all submitted tasks have run.
+  void wait_idle();
+
+  /// Number of worker threads.
+  std::size_t size() const noexcept { return workers_.size(); }
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_task_;
+  std::condition_variable cv_idle_;
+  std::size_t in_flight_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace scaa::exp

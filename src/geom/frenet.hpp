@@ -1,0 +1,52 @@
+#pragma once
+
+/// @file frenet.hpp
+/// Frenet (road-aligned) coordinates relative to a reference polyline.
+///
+/// Frenet frame: s is arc length along the reference line, d is the signed
+/// lateral offset (positive to the left of the direction of travel). All
+/// lane-keeping quantities (distance to lane edges, lane invasion) are
+/// naturally expressed in this frame.
+
+#include "geom/polyline.hpp"
+#include "geom/vec2.hpp"
+
+namespace scaa::geom {
+
+/// A point expressed in Frenet coordinates.
+struct FrenetPoint {
+  double s = 0.0;  ///< arc length along the reference line [m]
+  double d = 0.0;  ///< signed lateral offset, +left [m]
+};
+
+/// Stateful converter between world and Frenet coordinates.
+/// Keeps the last projection as a hint, making per-tick conversions O(1).
+class FrenetFrame {
+ public:
+  /// Reference line is borrowed; it must outlive the frame.
+  explicit FrenetFrame(const Polyline& reference) : ref_(&reference) {}
+
+  /// Convert a world position to Frenet coordinates.
+  FrenetPoint to_frenet(Vec2 world) noexcept;
+
+  /// Convert Frenet coordinates to a world position.
+  Vec2 to_world(FrenetPoint f) const noexcept;
+
+  /// Heading of the reference line at arc length @p s.
+  double reference_heading(double s) const noexcept {
+    return ref_->heading_at(s);
+  }
+
+  /// Approximate signed curvature of the reference line at @p s
+  /// (finite difference of heading; positive = left curve).
+  double curvature_at(double s, double ds = 1.0) const noexcept;
+
+  /// Total reference-line length.
+  double length() const noexcept { return ref_->length(); }
+
+ private:
+  const Polyline* ref_;
+  double hint_s_ = -1.0;
+};
+
+}  // namespace scaa::geom

@@ -1,0 +1,96 @@
+#include "geom/polyline.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace scaa::geom {
+
+Polyline::Polyline(std::vector<Vec2> points) : pts_(std::move(points)) {
+  if (pts_.size() < 2)
+    throw std::invalid_argument("Polyline: needs at least 2 points");
+  cum_.resize(pts_.size());
+  cum_[0] = 0.0;
+  for (std::size_t i = 1; i < pts_.size(); ++i) {
+    const double seg = distance(pts_[i - 1], pts_[i]);
+    if (seg <= 1e-12)
+      throw std::invalid_argument("Polyline: duplicate consecutive points");
+    cum_[i] = cum_[i - 1] + seg;
+  }
+}
+
+std::size_t Polyline::segment_index(double s) const noexcept {
+  // Find i such that cum_[i] <= s < cum_[i+1].
+  const auto it = std::upper_bound(cum_.begin(), cum_.end(), s);
+  auto idx = static_cast<std::size_t>(it - cum_.begin());
+  if (idx == 0) return 0;
+  if (idx >= cum_.size()) return cum_.size() - 2;
+  return idx - 1;
+}
+
+Vec2 Polyline::position_at(double s) const noexcept {
+  if (pts_.empty()) return {};
+  if (s <= 0.0) return pts_.front();
+  if (s >= length()) return pts_.back();
+  const std::size_t i = segment_index(s);
+  const double seg_len = cum_[i + 1] - cum_[i];
+  const double t = (s - cum_[i]) / seg_len;
+  return pts_[i] + (pts_[i + 1] - pts_[i]) * t;
+}
+
+double Polyline::heading_at(double s) const noexcept {
+  if (pts_.size() < 2) return 0.0;
+  double sc = s;
+  if (sc < 0.0) sc = 0.0;
+  if (sc >= length()) sc = length() - 1e-9;
+  const std::size_t i = segment_index(sc);
+  const Vec2 d = pts_[i + 1] - pts_[i];
+  return std::atan2(d.y, d.x);
+}
+
+Polyline::Projection Polyline::project(Vec2 p, double hint_s) const noexcept {
+  std::size_t lo = 0;
+  std::size_t hi = pts_.size() - 1;
+  if (hint_s >= 0.0 && pts_.size() > 8) {
+    // Search a window of segments around the hint; widen if the result lands
+    // on the window edge (the point moved further than expected).
+    const std::size_t center = segment_index(std::min(hint_s, length()));
+    const std::size_t window = 8;
+    lo = center > window ? center - window : 0;
+    hi = std::min(center + window + 1, pts_.size() - 1);
+  }
+
+  auto best = Projection{};
+  double best_dist_sq = std::numeric_limits<double>::max();
+  for (std::size_t i = lo; i < hi; ++i) {
+    const Vec2 a = pts_[i];
+    const Vec2 b = pts_[i + 1];
+    const Vec2 ab = b - a;
+    const double len_sq = ab.norm_sq();
+    double t = len_sq > 0.0 ? (p - a).dot(ab) / len_sq : 0.0;
+    t = std::clamp(t, 0.0, 1.0);
+    const Vec2 c = a + ab * t;
+    const double d_sq = (p - c).norm_sq();
+    if (d_sq < best_dist_sq) {
+      best_dist_sq = d_sq;
+      best.closest = c;
+      best.s = cum_[i] + std::sqrt(len_sq) * t;
+      const Vec2 tangent = ab.normalized();
+      best.lateral = tangent.cross(p - c);
+    }
+  }
+
+  // If a hinted search hit a window boundary that is not also a polyline
+  // boundary, the hint was stale; redo a full search. Happens at most on
+  // teleports (never in the step loop).
+  if (hint_s >= 0.0 && pts_.size() > 8) {
+    const bool stale_low = lo > 0 && best.s <= cum_[lo] + 1e-9;
+    const bool stale_high =
+        hi < pts_.size() - 1 && best.s >= cum_[hi] - 1e-9;
+    if (stale_low || stale_high) return project(p, -1.0);
+  }
+  return best;
+}
+
+}  // namespace scaa::geom

@@ -1,0 +1,58 @@
+#pragma once
+
+/// @file polyline.hpp
+/// Arc-length-parameterized polylines, the backbone of the road centerline.
+
+#include <vector>
+
+#include "geom/vec2.hpp"
+
+namespace scaa::geom {
+
+/// A polyline with a precomputed cumulative arc-length table.
+/// Supports sampling position/heading at any arc length s and projecting a
+/// world point to the closest s (the key primitive for Frenet conversion).
+class Polyline {
+ public:
+  Polyline() = default;
+
+  /// Construct from at least two points. Consecutive duplicate points are
+  /// rejected (they would produce a zero-length segment).
+  explicit Polyline(std::vector<Vec2> points);
+
+  /// Total arc length.
+  double length() const noexcept { return cum_.empty() ? 0.0 : cum_.back(); }
+
+  /// Number of points.
+  std::size_t size() const noexcept { return pts_.size(); }
+
+  /// Point at index @p i.
+  Vec2 point(std::size_t i) const { return pts_.at(i); }
+
+  /// Position at arc length @p s (clamped to [0, length]).
+  Vec2 position_at(double s) const noexcept;
+
+  /// Tangent heading (radians) at arc length @p s.
+  double heading_at(double s) const noexcept;
+
+  /// Projection result of a world point onto the polyline.
+  struct Projection {
+    double s = 0.0;         ///< arc length of the closest point
+    double lateral = 0.0;   ///< signed offset; positive = left of tangent
+    Vec2 closest;           ///< closest point on the polyline
+  };
+
+  /// Project @p p to the closest point on the polyline.
+  /// @p hint_s speeds up the search by starting near a previous projection
+  /// (pass a negative value for a full search). The simulation steps vehicles
+  /// a few centimetres per tick, so the hinted search is O(1) amortized.
+  Projection project(Vec2 p, double hint_s = -1.0) const noexcept;
+
+ private:
+  std::size_t segment_index(double s) const noexcept;
+
+  std::vector<Vec2> pts_;
+  std::vector<double> cum_;  ///< cum_[i] = arc length at pts_[i]
+};
+
+}  // namespace scaa::geom

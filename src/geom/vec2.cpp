@@ -1,0 +1,31 @@
+#include "geom/vec2.hpp"
+
+namespace scaa::geom {
+
+Vec2 Vec2::normalized() const noexcept {
+  const double n = norm();
+  if (n == 0.0) return {0.0, 0.0};
+  return {x / n, y / n};
+}
+
+Vec2 Vec2::rotated(double angle) const noexcept {
+  const double c = std::cos(angle);
+  const double s = std::sin(angle);
+  return {x * c - y * s, x * s + y * c};
+}
+
+double distance(Vec2 a, Vec2 b) noexcept { return (a - b).norm(); }
+
+Vec2 heading_vector(double theta) noexcept {
+  return {std::cos(theta), std::sin(theta)};
+}
+
+Vec2 Pose::local_to_world(Vec2 local) const noexcept {
+  return position + local.rotated(heading);
+}
+
+Vec2 Pose::world_to_local(Vec2 world) const noexcept {
+  return (world - position).rotated(-heading);
+}
+
+}  // namespace scaa::geom

@@ -1,0 +1,179 @@
+#include "msg/bus.hpp"
+
+#include <algorithm>
+
+namespace scaa::msg {
+
+std::string topic_name(Topic topic) {
+  switch (topic) {
+    case Topic::kGpsLocationExternal: return "gpsLocationExternal";
+    case Topic::kModelV2: return "modelV2";
+    case Topic::kRadarState: return "radarState";
+    case Topic::kCarState: return "carState";
+    case Topic::kCarControl: return "carControl";
+    case Topic::kControlsState: return "controlsState";
+  }
+  return "unknown";
+}
+
+std::vector<std::uint8_t> serialize(const GpsLocationExternal& m) {
+  Encoder e;
+  e.put_u64(m.mono_time);
+  e.put_f64(m.latitude);
+  e.put_f64(m.longitude);
+  e.put_f64(m.speed);
+  e.put_f64(m.bearing);
+  e.put_bool(m.has_fix);
+  return e.take();
+}
+
+void deserialize(const std::vector<std::uint8_t>& bytes,
+                 GpsLocationExternal& m) {
+  Decoder d(bytes);
+  m.mono_time = d.get_u64();
+  m.latitude = d.get_f64();
+  m.longitude = d.get_f64();
+  m.speed = d.get_f64();
+  m.bearing = d.get_f64();
+  m.has_fix = d.get_bool();
+}
+
+std::vector<std::uint8_t> serialize(const ModelV2& m) {
+  Encoder e;
+  e.put_u64(m.mono_time);
+  e.put_f64(m.left_lane_line);
+  e.put_f64(m.right_lane_line);
+  e.put_f64(m.left_line_prob);
+  e.put_f64(m.right_line_prob);
+  e.put_f64(m.path_curvature);
+  e.put_f64(m.path_heading_error);
+  return e.take();
+}
+
+void deserialize(const std::vector<std::uint8_t>& bytes, ModelV2& m) {
+  Decoder d(bytes);
+  m.mono_time = d.get_u64();
+  m.left_lane_line = d.get_f64();
+  m.right_lane_line = d.get_f64();
+  m.left_line_prob = d.get_f64();
+  m.right_line_prob = d.get_f64();
+  m.path_curvature = d.get_f64();
+  m.path_heading_error = d.get_f64();
+}
+
+std::vector<std::uint8_t> serialize(const RadarState& m) {
+  Encoder e;
+  e.put_u64(m.mono_time);
+  e.put_bool(m.lead_valid);
+  e.put_f64(m.lead_distance);
+  e.put_f64(m.lead_rel_speed);
+  e.put_f64(m.lead_speed);
+  return e.take();
+}
+
+void deserialize(const std::vector<std::uint8_t>& bytes, RadarState& m) {
+  Decoder d(bytes);
+  m.mono_time = d.get_u64();
+  m.lead_valid = d.get_bool();
+  m.lead_distance = d.get_f64();
+  m.lead_rel_speed = d.get_f64();
+  m.lead_speed = d.get_f64();
+}
+
+std::vector<std::uint8_t> serialize(const CarState& m) {
+  Encoder e;
+  e.put_u64(m.mono_time);
+  e.put_f64(m.speed);
+  e.put_f64(m.accel);
+  e.put_f64(m.steer_angle);
+  e.put_f64(m.cruise_speed);
+  e.put_bool(m.cruise_enabled);
+  e.put_f64(m.driver_torque);
+  return e.take();
+}
+
+void deserialize(const std::vector<std::uint8_t>& bytes, CarState& m) {
+  Decoder d(bytes);
+  m.mono_time = d.get_u64();
+  m.speed = d.get_f64();
+  m.accel = d.get_f64();
+  m.steer_angle = d.get_f64();
+  m.cruise_speed = d.get_f64();
+  m.cruise_enabled = d.get_bool();
+  m.driver_torque = d.get_f64();
+}
+
+std::vector<std::uint8_t> serialize(const CarControl& m) {
+  Encoder e;
+  e.put_u64(m.mono_time);
+  e.put_bool(m.enabled);
+  e.put_f64(m.accel);
+  e.put_f64(m.steer_angle);
+  return e.take();
+}
+
+void deserialize(const std::vector<std::uint8_t>& bytes, CarControl& m) {
+  Decoder d(bytes);
+  m.mono_time = d.get_u64();
+  m.enabled = d.get_bool();
+  m.accel = d.get_f64();
+  m.steer_angle = d.get_f64();
+}
+
+std::vector<std::uint8_t> serialize(const ControlsState& m) {
+  Encoder e;
+  e.put_u64(m.mono_time);
+  e.put_bool(m.active);
+  e.put_bool(m.steer_saturated);
+  e.put_bool(m.fcw);
+  e.put_u32(m.alert_count);
+  return e.take();
+}
+
+void deserialize(const std::vector<std::uint8_t>& bytes, ControlsState& m) {
+  Decoder d(bytes);
+  m.mono_time = d.get_u64();
+  m.active = d.get_bool();
+  m.steer_saturated = d.get_bool();
+  m.fcw = d.get_bool();
+  m.alert_count = d.get_u32();
+}
+
+std::uint64_t PubSubBus::subscribe_raw(Topic topic, RawHandler handler) {
+  const std::uint64_t id = next_id_++;
+  subs_[topic].push_back({id, std::move(handler)});
+  return id;
+}
+
+void PubSubBus::unsubscribe(std::uint64_t id) {
+  for (auto& [topic, subs] : subs_) {
+    subs.erase(std::remove_if(subs.begin(), subs.end(),
+                              [id](const Subscription& s) { return s.id == id; }),
+               subs.end());
+  }
+}
+
+std::uint64_t PubSubBus::next_sequence(Topic topic) {
+  return ++sequences_[topic];
+}
+
+void PubSubBus::dispatch(const WireFrame& frame) {
+  const auto it = subs_.find(frame.topic);
+  if (it == subs_.end()) return;
+  // Iterate over a copy of the handler list: a handler may subscribe or
+  // unsubscribe during dispatch without invalidating this loop.
+  const auto snapshot = it->second;
+  for (const auto& sub : snapshot) sub.handler(frame);
+}
+
+std::uint64_t PubSubBus::published_count(Topic topic) const noexcept {
+  const auto it = sequences_.find(topic);
+  return it == sequences_.end() ? 0 : it->second;
+}
+
+std::size_t PubSubBus::subscriber_count(Topic topic) const noexcept {
+  const auto it = subs_.find(topic);
+  return it == subs_.end() ? 0 : it->second.size();
+}
+
+}  // namespace scaa::msg

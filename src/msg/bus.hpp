@@ -1,0 +1,135 @@
+#pragma once
+
+/// @file bus.hpp
+/// The cereal-like publish/subscribe bus.
+///
+/// Design mirrors what matters about Cereal for the paper's attack:
+///  * topics are public; any component can subscribe to any topic without
+///    authentication or authorization (the eavesdropping vector, Fig. 3);
+///  * messages are serialized bytes on the wire; subscribers decode them
+///    with the public schema;
+///  * publishers stamp a monotonically increasing per-topic sequence number
+///    (lets tests assert no message loss).
+///
+/// The bus is single-threaded within one simulation (the 100 Hz loop runs
+/// all services in order, like OpenPilot's single-machine deployment); the
+/// campaign layer achieves parallelism by running many independent worlds.
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "msg/codec.hpp"
+#include "msg/messages.hpp"
+
+namespace scaa::msg {
+
+/// Serialize any schema message (overloads per type).
+std::vector<std::uint8_t> serialize(const GpsLocationExternal& m);
+std::vector<std::uint8_t> serialize(const ModelV2& m);
+std::vector<std::uint8_t> serialize(const RadarState& m);
+std::vector<std::uint8_t> serialize(const CarState& m);
+std::vector<std::uint8_t> serialize(const CarControl& m);
+std::vector<std::uint8_t> serialize(const ControlsState& m);
+
+/// Deserialize into a schema message; throws std::out_of_range on truncation.
+void deserialize(const std::vector<std::uint8_t>& bytes, GpsLocationExternal& m);
+void deserialize(const std::vector<std::uint8_t>& bytes, ModelV2& m);
+void deserialize(const std::vector<std::uint8_t>& bytes, RadarState& m);
+void deserialize(const std::vector<std::uint8_t>& bytes, CarState& m);
+void deserialize(const std::vector<std::uint8_t>& bytes, CarControl& m);
+void deserialize(const std::vector<std::uint8_t>& bytes, ControlsState& m);
+
+/// A frame as seen on the wire.
+struct WireFrame {
+  Topic topic{};
+  std::uint64_t sequence = 0;
+  std::vector<std::uint8_t> payload;
+};
+
+/// Pub/sub bus. Subscribers register callbacks per topic; publishing
+/// serializes the message and synchronously fans it out.
+class PubSubBus {
+ public:
+  using RawHandler = std::function<void(const WireFrame&)>;
+
+  /// Subscribe to raw frames on @p topic. No authentication — by design:
+  /// this is the vulnerability surface. Returns a subscription id.
+  std::uint64_t subscribe_raw(Topic topic, RawHandler handler);
+
+  /// Subscribe with automatic decoding to the typed message.
+  template <typename M>
+  std::uint64_t subscribe(std::function<void(const M&)> handler) {
+    return subscribe_raw(TopicOf<M>::value,
+                         [h = std::move(handler)](const WireFrame& frame) {
+                           M m{};
+                           deserialize(frame.payload, m);
+                           h(m);
+                         });
+  }
+
+  /// Remove a subscription. Unknown ids are ignored (idempotent).
+  void unsubscribe(std::uint64_t id);
+
+  /// Publish a typed message: serialize, stamp sequence, fan out.
+  template <typename M>
+  void publish(const M& m) {
+    WireFrame frame;
+    frame.topic = TopicOf<M>::value;
+    frame.sequence = next_sequence(frame.topic);
+    frame.payload = serialize(m);
+    dispatch(frame);
+  }
+
+  /// Messages published so far on @p topic.
+  std::uint64_t published_count(Topic topic) const noexcept;
+
+  /// Number of active subscriptions on @p topic.
+  std::size_t subscriber_count(Topic topic) const noexcept;
+
+ private:
+  std::uint64_t next_sequence(Topic topic);
+  void dispatch(const WireFrame& frame);
+
+  struct Subscription {
+    std::uint64_t id;
+    RawHandler handler;
+  };
+  std::map<Topic, std::vector<Subscription>> subs_;
+  std::map<Topic, std::uint64_t> sequences_;
+  std::uint64_t next_id_ = 1;
+};
+
+/// Convenience latch: stores the most recent message of a type.
+/// Mirrors OpenPilot's SubMaster "latest value" access pattern.
+template <typename M>
+class Latest {
+ public:
+  /// Attach to a bus; the latch must not outlive the bus.
+  explicit Latest(PubSubBus& bus) {
+    id_ = bus.subscribe<M>([this](const M& m) {
+      value_ = m;
+      ++updates_;
+    });
+  }
+
+  /// Most recent message (default-constructed before the first publish).
+  const M& value() const noexcept { return value_; }
+
+  /// True once at least one message arrived.
+  bool valid() const noexcept { return updates_ > 0; }
+
+  /// Number of messages received.
+  std::uint64_t updates() const noexcept { return updates_; }
+
+  /// Subscription id (for unsubscribe).
+  std::uint64_t subscription_id() const noexcept { return id_; }
+
+ private:
+  M value_{};
+  std::uint64_t updates_ = 0;
+  std::uint64_t id_ = 0;
+};
+
+}  // namespace scaa::msg

@@ -1,0 +1,75 @@
+#include "msg/codec.hpp"
+
+namespace scaa::msg {
+
+namespace {
+
+template <typename T>
+void append_le(std::vector<std::uint8_t>& buf, T v) {
+  for (std::size_t i = 0; i < sizeof(T); ++i)
+    buf.push_back(static_cast<std::uint8_t>((v >> (8 * i)) & 0xFF));
+}
+
+template <typename T>
+T read_le(const std::uint8_t* p) {
+  T v = 0;
+  for (std::size_t i = 0; i < sizeof(T); ++i)
+    v |= static_cast<T>(p[i]) << (8 * i);
+  return v;
+}
+
+}  // namespace
+
+void Encoder::put_u16(std::uint16_t v) { append_le(buf_, v); }
+void Encoder::put_u32(std::uint32_t v) { append_le(buf_, v); }
+void Encoder::put_u64(std::uint64_t v) { append_le(buf_, v); }
+
+void Encoder::put_f64(double v) {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof(bits));
+  put_u64(bits);
+}
+
+void Encoder::put_bool(bool v) {
+  buf_.push_back(v ? std::uint8_t{1} : std::uint8_t{0});
+}
+
+void Decoder::need(std::size_t n) const {
+  if (pos_ + n > size_)
+    throw std::out_of_range("msg::Decoder: truncated frame");
+}
+
+std::uint16_t Decoder::get_u16() {
+  need(2);
+  const auto v = read_le<std::uint16_t>(data_ + pos_);
+  pos_ += 2;
+  return v;
+}
+
+std::uint32_t Decoder::get_u32() {
+  need(4);
+  const auto v = read_le<std::uint32_t>(data_ + pos_);
+  pos_ += 4;
+  return v;
+}
+
+std::uint64_t Decoder::get_u64() {
+  need(8);
+  const auto v = read_le<std::uint64_t>(data_ + pos_);
+  pos_ += 8;
+  return v;
+}
+
+double Decoder::get_f64() {
+  const std::uint64_t bits = get_u64();
+  double v = 0.0;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+bool Decoder::get_bool() {
+  need(1);
+  return data_[pos_++] != 0;
+}
+
+}  // namespace scaa::msg

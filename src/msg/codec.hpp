@@ -1,0 +1,61 @@
+#pragma once
+
+/// @file codec.hpp
+/// Binary serialization for bus frames.
+///
+/// Cereal uses Cap'n Proto; we use a small explicit little-endian codec with
+/// the same purpose: messages on the wire are bytes, and any subscriber that
+/// knows the (public) schema can decode them — which is exactly the
+/// eavesdropping vulnerability the paper exploits.
+
+#include <cstdint>
+#include <cstring>
+#include <stdexcept>
+#include <vector>
+
+namespace scaa::msg {
+
+/// Append-only byte buffer writer (little endian).
+class Encoder {
+ public:
+  void put_u16(std::uint16_t v);
+  void put_u32(std::uint32_t v);
+  void put_u64(std::uint64_t v);
+  void put_f64(double v);
+  void put_bool(bool v);
+
+  /// Finished byte string.
+  const std::vector<std::uint8_t>& bytes() const noexcept { return buf_; }
+  std::vector<std::uint8_t> take() noexcept { return std::move(buf_); }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+};
+
+/// Sequential reader over a byte string. Throws std::out_of_range on
+/// truncated input — a malformed frame must never be silently misread.
+class Decoder {
+ public:
+  explicit Decoder(const std::vector<std::uint8_t>& bytes)
+      : data_(bytes.data()), size_(bytes.size()) {}
+  Decoder(const std::uint8_t* data, std::size_t size)
+      : data_(data), size_(size) {}
+
+  std::uint16_t get_u16();
+  std::uint32_t get_u32();
+  std::uint64_t get_u64();
+  double get_f64();
+  bool get_bool();
+
+  /// Bytes not yet consumed.
+  std::size_t remaining() const noexcept { return size_ - pos_; }
+
+ private:
+  void need(std::size_t n) const;
+
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace scaa::msg

@@ -1,0 +1,119 @@
+#pragma once
+
+/// @file messages.hpp
+/// Typed message schema of the cereal-like in-process messaging system.
+///
+/// OpenPilot components exchange state over Cereal, a Cap'n-Proto-based
+/// pub/sub layer. The attack in the paper eavesdrops three event types —
+/// `gpsLocationExternal`, `modelV2`, `radarState` — and the control loop
+/// publishes `carState`, `carControl` and `controlsState`. We reproduce that
+/// schema as plain structs with a stable binary codec (msg/codec.hpp).
+///
+/// Field meanings mirror OpenPilot's log.capnp where the paper relies on
+/// them; everything is SI.
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace scaa::msg {
+
+/// Monotonic event counter stamped by the publisher (log mono time).
+using MonoTime = std::uint64_t;
+
+/// GPS fix; source of the Ego speed for the attacker ("gpsLocationExternal").
+struct GpsLocationExternal {
+  MonoTime mono_time = 0;
+  double latitude = 0.0;    ///< degrees (synthetic in simulation)
+  double longitude = 0.0;   ///< degrees
+  double speed = 0.0;       ///< ground speed [m/s]
+  double bearing = 0.0;     ///< heading [rad]
+  bool has_fix = false;
+};
+
+/// Perception model output ("modelV2"): lane line positions relative to the
+/// vehicle. Offsets are lateral distances in the vehicle frame, +left.
+struct ModelV2 {
+  MonoTime mono_time = 0;
+  double left_lane_line = 0.0;    ///< lateral offset of left lane line [m]
+  double right_lane_line = 0.0;   ///< lateral offset of right lane line [m]
+  double left_line_prob = 0.0;    ///< detection confidence [0,1]
+  double right_line_prob = 0.0;   ///< detection confidence [0,1]
+  double path_curvature = 0.0;    ///< desired path curvature [1/m]
+  double path_heading_error = 0.0; ///< lane heading minus vehicle heading [rad]
+};
+
+/// Radar-tracked lead vehicle ("radarState").
+struct RadarState {
+  MonoTime mono_time = 0;
+  bool lead_valid = false;
+  double lead_distance = 0.0;   ///< longitudinal gap to lead [m]
+  double lead_rel_speed = 0.0;  ///< lead speed minus ego speed [m/s]
+  double lead_speed = 0.0;      ///< absolute lead speed estimate [m/s]
+};
+
+/// Vehicle state as reported by the car interface ("carState").
+struct CarState {
+  MonoTime mono_time = 0;
+  double speed = 0.0;          ///< wheel-speed derived [m/s]
+  double accel = 0.0;          ///< measured longitudinal accel [m/s^2]
+  double steer_angle = 0.0;    ///< measured road-wheel angle [rad]
+  double cruise_speed = 0.0;   ///< set speed [m/s]
+  bool cruise_enabled = false;
+  double driver_torque = 0.0;  ///< driver input torque on the wheel [Nm]
+};
+
+/// Control command published by the ADAS ("carControl"). This is the message
+/// the attack ultimately corrupts (via its CAN encoding).
+struct CarControl {
+  MonoTime mono_time = 0;
+  bool enabled = false;
+  double accel = 0.0;        ///< requested accel [m/s^2]; <0 brakes
+  double steer_angle = 0.0;  ///< requested road-wheel angle [rad]
+};
+
+/// Controller status ("controlsState"): alerts and engagement.
+struct ControlsState {
+  MonoTime mono_time = 0;
+  bool active = false;
+  bool steer_saturated = false;
+  bool fcw = false;          ///< forward collision warning active
+  std::uint32_t alert_count = 0;
+};
+
+/// Topic identifiers. Values are stable: they appear in serialized frames.
+enum class Topic : std::uint16_t {
+  kGpsLocationExternal = 1,
+  kModelV2 = 2,
+  kRadarState = 3,
+  kCarState = 4,
+  kCarControl = 5,
+  kControlsState = 6,
+};
+
+/// Human-readable topic name (matches OpenPilot's event names).
+std::string topic_name(Topic topic);
+
+/// Map each message type to its topic at compile time.
+template <typename T>
+struct TopicOf;
+template <> struct TopicOf<GpsLocationExternal> {
+  static constexpr Topic value = Topic::kGpsLocationExternal;
+};
+template <> struct TopicOf<ModelV2> {
+  static constexpr Topic value = Topic::kModelV2;
+};
+template <> struct TopicOf<RadarState> {
+  static constexpr Topic value = Topic::kRadarState;
+};
+template <> struct TopicOf<CarState> {
+  static constexpr Topic value = Topic::kCarState;
+};
+template <> struct TopicOf<CarControl> {
+  static constexpr Topic value = Topic::kCarControl;
+};
+template <> struct TopicOf<ControlsState> {
+  static constexpr Topic value = Topic::kControlsState;
+};
+
+}  // namespace scaa::msg

@@ -1,0 +1,96 @@
+#pragma once
+
+/// @file road.hpp
+/// Road model: a reference centerline with parallel lanes and guardrails.
+///
+/// The paper's CARLA scenario is a two-lane, one-direction road that curves
+/// to the left, with a guardrail on the right (the Ego starts in the lane
+/// nearer the right guardrail). We model the road as a reference line (the
+/// centerline of the whole carriageway) plus N lanes of constant width and
+/// guardrails at fixed lateral offsets.
+///
+/// Lateral convention (Frenet d): positive to the LEFT of travel direction.
+/// Lane index 0 is the RIGHTMOST lane. For a 2-lane road of width w:
+///   lane 0 center: d = -w/2     (right lane; the Ego's starting lane)
+///   lane 1 center: d = +w/2     (left lane)
+///   right guardrail: d = -w - margin ; left guardrail: d = +w + margin.
+
+#include <cstddef>
+
+#include "geom/frenet.hpp"
+#include "geom/polyline.hpp"
+
+namespace scaa::road {
+
+/// Immutable description of lanes and guardrails around a reference line.
+struct RoadProfile {
+  std::size_t lane_count = 2;        ///< lanes, all in the travel direction
+  double lane_width = 3.7;           ///< [m] US interstate standard
+  double guardrail_margin = 0.6;     ///< [m] shoulder between edge lane and rail
+
+  /// Lateral position of the center of lane @p lane (0 = rightmost).
+  double lane_center(std::size_t lane) const noexcept;
+
+  /// Lateral position of the right edge of lane @p lane.
+  double lane_right_edge(std::size_t lane) const noexcept;
+
+  /// Lateral position of the left edge of lane @p lane.
+  double lane_left_edge(std::size_t lane) const noexcept;
+
+  /// Lateral position of the right/left guardrail faces.
+  double right_guardrail() const noexcept;
+  double left_guardrail() const noexcept;
+
+  /// Total carriageway width (lane_count * lane_width).
+  double width() const noexcept;
+};
+
+/// A road: reference polyline + profile + cached Frenet frame.
+/// The class owns its geometry; queries are const and thread-compatible
+/// (create one FrenetFrame per consumer for hint locality).
+class Road {
+ public:
+  Road(geom::Polyline reference, RoadProfile profile);
+
+  const geom::Polyline& reference() const noexcept { return reference_; }
+  const RoadProfile& profile() const noexcept { return profile_; }
+
+  /// Total drivable length.
+  double length() const noexcept { return reference_.length(); }
+
+  /// Signed curvature at arc length s (positive = left curve).
+  double curvature_at(double s) const noexcept;
+
+  /// Distance from lateral offset @p d to the LEFT edge of lane @p lane.
+  /// Positive while inside the lane (paper's d_left).
+  double distance_to_left_edge(double d, std::size_t lane) const noexcept;
+
+  /// Distance from lateral offset @p d to the RIGHT edge of lane @p lane.
+  /// Positive while inside the lane (paper's d_right).
+  double distance_to_right_edge(double d, std::size_t lane) const noexcept;
+
+  /// Lane containing lateral offset @p d, or -1 when off the carriageway.
+  int lane_at(double d) const noexcept;
+
+  /// True when a vehicle of half-width @p half_width centred at @p d sticks
+  /// out of lane @p lane (the paper's lane-invasion condition).
+  bool invades_lane_line(double d, std::size_t lane,
+                         double half_width) const noexcept;
+
+  /// True when offset @p d (plus half-width) reaches a guardrail face.
+  bool hits_guardrail(double d, double half_width) const noexcept;
+
+  /// World position of a (s, d) point.
+  geom::Vec2 world_at(double s, double d) const;
+
+  /// Heading of the road at arc length s.
+  double heading_at(double s) const noexcept {
+    return reference_.heading_at(s);
+  }
+
+ private:
+  geom::Polyline reference_;
+  RoadProfile profile_;
+};
+
+}  // namespace scaa::road

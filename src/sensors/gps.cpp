@@ -1,0 +1,38 @@
+#include "sensors/gps.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace scaa::sensors {
+
+namespace {
+// Synthetic datum: 1 degree ~ 111 km; adequate for decorative lat/long.
+constexpr double kMetersPerDegree = 111000.0;
+constexpr double kDatumLat = 38.03;    // Charlottesville, VA
+constexpr double kDatumLon = -78.51;
+}  // namespace
+
+GpsModel::GpsModel(msg::PubSubBus& bus, GpsConfig config, util::Rng rng)
+    : bus_(&bus), config_(config), rng_(rng) {
+  const double steps = 100.0 / std::max(1.0, config_.rate_hz);
+  steps_per_fix_ = static_cast<std::uint64_t>(std::max(1.0, steps));
+}
+
+void GpsModel::step(std::uint64_t step_index,
+                    const vehicle::VehicleState& truth) {
+  if (step_index % steps_per_fix_ != 0) return;
+  if (config_.dropout_prob > 0.0 && rng_.bernoulli(config_.dropout_prob))
+    return;
+
+  msg::GpsLocationExternal fix;
+  fix.mono_time = step_index;
+  fix.latitude = kDatumLat + truth.pose.position.y / kMetersPerDegree;
+  fix.longitude = kDatumLon + truth.pose.position.x / kMetersPerDegree;
+  fix.speed =
+      std::max(0.0, truth.speed + rng_.gaussian(0.0, config_.speed_noise_std));
+  fix.bearing = truth.pose.heading;
+  fix.has_fix = true;
+  bus_->publish(fix);
+}
+
+}  // namespace scaa::sensors

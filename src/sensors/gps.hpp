@@ -1,0 +1,38 @@
+#pragma once
+
+/// @file gps.hpp
+/// GPS sensor model publishing `gpsLocationExternal`.
+
+#include "msg/bus.hpp"
+#include "util/rng.hpp"
+#include "vehicle/vehicle.hpp"
+
+namespace scaa::sensors {
+
+/// Configuration of the GPS model.
+struct GpsConfig {
+  double rate_hz = 10.0;          ///< fix rate
+  double speed_noise_std = 0.05;  ///< [m/s] 1-sigma ground-speed noise
+  double dropout_prob = 0.0;      ///< probability a fix is skipped
+};
+
+/// Publishes noisy ground speed and bearing derived from ground truth.
+/// Position is reported as a flat-earth offset converted to synthetic
+/// lat/long — the attack only consumes speed, but the fields are populated
+/// so eavesdroppers see a realistic message.
+class GpsModel {
+ public:
+  GpsModel(msg::PubSubBus& bus, GpsConfig config, util::Rng rng);
+
+  /// Advance to time step @p step_index (10 ms steps); publishes when the
+  /// configured rate divides the step.
+  void step(std::uint64_t step_index, const vehicle::VehicleState& truth);
+
+ private:
+  msg::PubSubBus* bus_;
+  GpsConfig config_;
+  util::Rng rng_;
+  std::uint64_t steps_per_fix_;
+};
+
+}  // namespace scaa::sensors

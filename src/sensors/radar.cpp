@@ -1,0 +1,37 @@
+#include "sensors/radar.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace scaa::sensors {
+
+RadarModel::RadarModel(msg::PubSubBus& bus, RadarConfig config, util::Rng rng)
+    : bus_(&bus), config_(config), rng_(rng) {
+  const double steps = 100.0 / std::max(1.0, config_.rate_hz);
+  steps_per_update_ = static_cast<std::uint64_t>(std::max(1.0, steps));
+}
+
+void RadarModel::step(std::uint64_t step_index,
+                      const std::optional<LeadTruth>& truth) {
+  if (step_index % steps_per_update_ != 0) return;
+
+  msg::RadarState state;
+  state.mono_time = step_index;
+  state.lead_valid = false;
+
+  const bool detectable = truth.has_value() && truth->gap > 0.0 &&
+                          truth->gap <= config_.max_range &&
+                          std::abs(truth->lateral_offset) < 2.0;
+  if (detectable && !rng_.bernoulli(config_.dropout_prob)) {
+    state.lead_valid = true;
+    state.lead_distance =
+        std::max(0.0, truth->gap + rng_.gaussian(0.0, config_.range_noise_std));
+    state.lead_rel_speed =
+        truth->rel_speed + rng_.gaussian(0.0, config_.range_rate_noise_std);
+    state.lead_speed = std::max(0.0, truth->lead_speed +
+                                         rng_.gaussian(0.0, config_.range_rate_noise_std));
+  }
+  bus_->publish(state);
+}
+
+}  // namespace scaa::sensors

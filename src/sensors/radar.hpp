@@ -1,0 +1,48 @@
+#pragma once
+
+/// @file radar.hpp
+/// Radar sensor model publishing `radarState`.
+
+#include <optional>
+
+#include "msg/bus.hpp"
+#include "util/rng.hpp"
+#include "vehicle/vehicle.hpp"
+
+namespace scaa::sensors {
+
+/// Configuration of the radar model.
+struct RadarConfig {
+  double rate_hz = 20.0;           ///< track update rate
+  double max_range = 180.0;        ///< [m] detection range
+  double range_noise_std = 0.25;   ///< [m]
+  double range_rate_noise_std = 0.12;  ///< [m/s]
+  double dropout_prob = 0.03;      ///< per-update missed detection (track flicker)
+};
+
+/// Publishes lead-vehicle range and range rate from ground truth.
+/// The lead is "detected" when within range and roughly in the ego's lane.
+class RadarModel {
+ public:
+  RadarModel(msg::PubSubBus& bus, RadarConfig config, util::Rng rng);
+
+  /// Ground truth of the lead as seen this step; nullopt when no lead
+  /// exists in the scenario.
+  struct LeadTruth {
+    double gap = 0.0;        ///< bumper-to-bumper longitudinal gap [m]
+    double rel_speed = 0.0;  ///< lead speed - ego speed [m/s]
+    double lead_speed = 0.0; ///< absolute lead speed [m/s]
+    double lateral_offset = 0.0;  ///< lead lateral offset from ego lane [m]
+  };
+
+  /// Advance one 10 ms step; publishes at the configured rate.
+  void step(std::uint64_t step_index, const std::optional<LeadTruth>& truth);
+
+ private:
+  msg::PubSubBus* bus_;
+  RadarConfig config_;
+  util::Rng rng_;
+  std::uint64_t steps_per_update_;
+};
+
+}  // namespace scaa::sensors

@@ -1,0 +1,123 @@
+#include "sim/hazard.hpp"
+
+#include <cmath>
+
+namespace scaa::sim {
+
+std::string to_string(AccidentClass a) {
+  switch (a) {
+    case AccidentClass::kNone: return "None";
+    case AccidentClass::kA1LeadCollision: return "A1-LeadCollision";
+    case AccidentClass::kA2RearEnd: return "A2-RearEnd";
+    case AccidentClass::kA3Roadside: return "A3-Roadside";
+  }
+  return "?";
+}
+
+SafetyMonitor::SafetyMonitor(const road::Road& road,
+                             SafetyMonitorConfig config, std::size_t ego_lane)
+    : road_(&road), config_(config), ego_lane_(ego_lane) {}
+
+void SafetyMonitor::record_hazard(attack::HazardClass h,
+                                  double time) noexcept {
+  auto& slot = hazard_time_[static_cast<std::size_t>(h)];
+  if (slot >= 0.0) return;
+  slot = time;
+  if (first_hazard_ == attack::HazardClass::kNone) {
+    first_hazard_ = h;
+    first_hazard_time_ = time;
+  }
+}
+
+void SafetyMonitor::record_accident(AccidentClass a, double time) noexcept {
+  auto& slot = accident_time_[static_cast<std::size_t>(a)];
+  if (slot >= 0.0) return;
+  slot = time;
+  if (first_accident_ == AccidentClass::kNone) {
+    first_accident_ = a;
+    first_accident_time_ = time;
+  }
+}
+
+bool SafetyMonitor::hazard_occurred(attack::HazardClass h) const noexcept {
+  return hazard_time_[static_cast<std::size_t>(h)] >= 0.0;
+}
+
+double SafetyMonitor::hazard_time(attack::HazardClass h) const noexcept {
+  return hazard_time_[static_cast<std::size_t>(h)];
+}
+
+bool SafetyMonitor::any_hazard() const noexcept {
+  return first_hazard_ != attack::HazardClass::kNone;
+}
+
+bool SafetyMonitor::accident_occurred(AccidentClass a) const noexcept {
+  return accident_time_[static_cast<std::size_t>(a)] >= 0.0;
+}
+
+bool SafetyMonitor::update(const MonitorInputs& in) {
+  using attack::HazardClass;
+  const auto& profile = road_->profile();
+
+  // --- H1 / A1: lead conflict -----------------------------------------
+  if (in.lead.has_value()) {
+    const double gap = vehicle::bumper_gap(in.ego, *in.ego_params, *in.lead,
+                                           *in.lead_params);
+    const double violation_gap =
+        std::max(config_.h1_min_gap, config_.h1_headway * in.ego.speed);
+    if (gap <= violation_gap) record_hazard(HazardClass::kH1, in.time);
+    if (gap <= 0.0) record_accident(AccidentClass::kA1LeadCollision, in.time);
+  }
+
+  // --- H2 / A2: unjustified slowdown & rear-end conflict ---------------
+  // The condition must hold continuously for h2_persistence seconds: a
+  // short dip the ACC recovers from is not a hazard, a latched attack or a
+  // panic stop is. The hazard is stamped at the episode start.
+  if (in.time >= config_.h2_min_time) {
+    const bool lead_far =
+        !in.lead.has_value() ||
+        vehicle::bumper_gap(in.ego, *in.ego_params, *in.lead,
+                            *in.lead_params) > config_.h2_clear_gap;
+    const bool slow =
+        in.ego.speed < config_.h2_speed_fraction * in.cruise_speed;
+    if (lead_far && slow) {
+      if (h2_condition_since_ < 0.0) h2_condition_since_ = in.time;
+      if (in.time - h2_condition_since_ >= config_.h2_persistence)
+        record_hazard(HazardClass::kH2, h2_condition_since_);
+    } else {
+      h2_condition_since_ = -1.0;
+    }
+  }
+  if (in.trailing.has_value()) {
+    const double rear_gap = vehicle::bumper_gap(
+        *in.trailing, *in.trailing_params, in.ego, *in.ego_params);
+    if (rear_gap <= 0.0) record_accident(AccidentClass::kA2RearEnd, in.time);
+  }
+
+  // --- H3 / A3: road departure & roadside conflict ---------------------
+  // H3 ("drives out of lane") triggers when the vehicle centre leaves the
+  // carriageway — consistent with the paper's no-attack data, where lane
+  // LINE invasions are frequent (0.46/s) yet no hazards are logged.
+  if (std::abs(in.ego.d) > 0.5 * profile.width())
+    record_hazard(HazardClass::kH3, in.time);
+  if (road_->hits_guardrail(in.ego.d, in.ego_params->half_width()))
+    record_accident(AccidentClass::kA3Roadside, in.time);
+  if (in.neighbor.has_value()) {
+    const double ds = std::abs(in.neighbor->s - in.ego.s);
+    const double dd = std::abs(in.neighbor->d - in.ego.d);
+    const bool overlap =
+        ds < 0.5 * (in.ego_params->length + in.neighbor_params->length) &&
+        dd < 0.5 * (in.ego_params->width + in.neighbor_params->width);
+    if (overlap) record_accident(AccidentClass::kA3Roadside, in.time);
+  }
+
+  // --- lane invasions (footprint touches a lane line) ------------------
+  const bool invading = road_->invades_lane_line(
+      in.ego.d, ego_lane_, in.ego_params->half_width());
+  if (invading && !invading_) ++invasions_;
+  invading_ = invading;
+
+  return any_accident();
+}
+
+}  // namespace scaa::sim

@@ -1,0 +1,102 @@
+#pragma once
+
+/// @file hazard.hpp
+/// Hazard (H1-H3) and accident (A1-A3) detection, plus lane-invasion
+/// counting (paper §III-A and Observation 1).
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "attack/context_table.hpp"
+#include "road/road.hpp"
+#include "vehicle/vehicle.hpp"
+
+namespace scaa::sim {
+
+/// Accident classes of the paper.
+enum class AccidentClass : std::uint8_t {
+  kNone = 0,
+  kA1LeadCollision,   ///< collision with the lead vehicle
+  kA2RearEnd,         ///< trailing vehicle rear-ends the Ego
+  kA3Roadside,        ///< guardrail or neighboring-lane vehicle collision
+};
+
+std::string to_string(AccidentClass a);
+
+/// Detection thresholds.
+struct SafetyMonitorConfig {
+  double h1_headway = 0.5;     ///< [s] gap below this headway violates H1
+  double h1_min_gap = 2.0;     ///< [m] absolute floor for H1
+  double h2_speed_fraction = 0.5;  ///< H2: speed below this x cruise ...
+  double h2_clear_gap = 40.0;      ///< ... with no lead within this gap [m] ...
+  double h2_persistence = 2.5;     ///< ... continuously for this long [s].
+                                   ///< Transient slowdowns that the ACC
+                                   ///< recovers from are not hazards; a
+                                   ///< latched attack or a panic stop is.
+  double h2_min_time = 5.0;    ///< [s] ignore the initial transient
+};
+
+/// Geometry + kinematics snapshot the monitor evaluates every step.
+struct MonitorInputs {
+  double time = 0.0;
+  vehicle::VehicleState ego;
+  const vehicle::VehicleParams* ego_params = nullptr;
+  std::optional<vehicle::VehicleState> lead;
+  const vehicle::VehicleParams* lead_params = nullptr;
+  std::optional<vehicle::VehicleState> trailing;
+  const vehicle::VehicleParams* trailing_params = nullptr;
+  std::optional<vehicle::VehicleState> neighbor;
+  const vehicle::VehicleParams* neighbor_params = nullptr;
+  double cruise_speed = 0.0;
+};
+
+/// Tracks first-occurrence times of every hazard/accident class and counts
+/// lane-invasion events.
+class SafetyMonitor {
+ public:
+  SafetyMonitor(const road::Road& road, SafetyMonitorConfig config,
+                std::size_t ego_lane);
+
+  /// Evaluate one step. Returns true when a (terminal) accident occurred.
+  bool update(const MonitorInputs& in);
+
+  /// --- hazards ---
+  bool hazard_occurred(attack::HazardClass h) const noexcept;
+  double hazard_time(attack::HazardClass h) const noexcept;
+  bool any_hazard() const noexcept;
+  attack::HazardClass first_hazard() const noexcept { return first_hazard_; }
+  double first_hazard_time() const noexcept { return first_hazard_time_; }
+
+  /// --- accidents ---
+  bool accident_occurred(AccidentClass a) const noexcept;
+  bool any_accident() const noexcept {
+    return first_accident_ != AccidentClass::kNone;
+  }
+  AccidentClass first_accident() const noexcept { return first_accident_; }
+  double first_accident_time() const noexcept { return first_accident_time_; }
+
+  /// --- lane invasions ---
+  std::uint64_t lane_invasion_events() const noexcept { return invasions_; }
+
+ private:
+  void record_hazard(attack::HazardClass h, double time) noexcept;
+  void record_accident(AccidentClass a, double time) noexcept;
+
+  const road::Road* road_;
+  SafetyMonitorConfig config_;
+  std::size_t ego_lane_;
+
+  std::array<double, 4> hazard_time_{-1.0, -1.0, -1.0, -1.0};
+  std::array<double, 4> accident_time_{-1.0, -1.0, -1.0, -1.0};
+  attack::HazardClass first_hazard_ = attack::HazardClass::kNone;
+  double first_hazard_time_ = -1.0;
+  AccidentClass first_accident_ = AccidentClass::kNone;
+  double first_accident_time_ = -1.0;
+  double h2_condition_since_ = -1.0;  ///< start of the current H2 episode
+  bool invading_ = false;
+  std::uint64_t invasions_ = 0;
+};
+
+}  // namespace scaa::sim

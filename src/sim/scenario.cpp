@@ -1,0 +1,33 @@
+#include "sim/scenario.hpp"
+
+#include <stdexcept>
+
+namespace scaa::sim {
+
+Scenario Scenario::make(int sid, double gap) {
+  Scenario s;
+  s.id = sid;
+  s.initial_gap = gap;
+  using units::mph_to_ms;
+  switch (sid) {
+    case 1:  // lead cruises at 35 mph
+      s.lead = {mph_to_ms(35.0), mph_to_ms(35.0), 15.0, 1.0};
+      break;
+    case 2:  // lead cruises at 50 mph
+      s.lead = {mph_to_ms(50.0), mph_to_ms(50.0), 15.0, 1.0};
+      break;
+    case 3:  // lead slows 50 -> 35 mph
+      s.lead = {mph_to_ms(50.0), mph_to_ms(35.0), 15.0, 1.0};
+      break;
+    case 4:  // lead accelerates 35 -> 50 mph
+      s.lead = {mph_to_ms(35.0), mph_to_ms(50.0), 15.0, 1.0};
+      break;
+    default:
+      throw std::invalid_argument("Scenario::make: sid must be 1..4");
+  }
+  return s;
+}
+
+std::string Scenario::name() const { return "S" + std::to_string(id); }
+
+}  // namespace scaa::sim

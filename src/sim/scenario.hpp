@@ -1,0 +1,49 @@
+#pragma once
+
+/// @file scenario.hpp
+/// Driving scenarios S1-S4 (paper §IV-A).
+///
+/// The Ego cruises at 60 mph and approaches, from 50/70/100 m away, a lead
+/// vehicle that: S1 cruises at 35 mph; S2 cruises at 50 mph; S3 slows from
+/// 50 to 35 mph; S4 accelerates from 35 to 50 mph. A trailing vehicle (the
+/// traffic behind the Ego, the A2/H2 conflict partner) and a neighbor
+/// vehicle in the left lane (an A3 conflict partner) complete the scene.
+
+#include <string>
+
+#include "util/units.hpp"
+
+namespace scaa::sim {
+
+/// Scripted lead-vehicle speed profile.
+struct LeadProfile {
+  double initial_speed = units::mph_to_ms(35.0);  ///< [m/s]
+  double target_speed = units::mph_to_ms(35.0);   ///< [m/s]
+  double change_start = 15.0;  ///< [s] when the transition begins
+  double change_rate = 1.0;    ///< [m/s^2] magnitude of the transition
+};
+
+/// A complete scenario description.
+struct Scenario {
+  int id = 1;                  ///< 1..4 (S1..S4)
+  double initial_gap = 100.0;  ///< [m] Ego front bumper to lead rear bumper
+  double ego_speed = units::mph_to_ms(60.0);     ///< [m/s] initial & cruise
+  double cruise_speed = units::mph_to_ms(60.0);  ///< [m/s] ACC set speed
+  LeadProfile lead;
+  bool with_trailing = true;   ///< traffic behind the Ego
+  bool with_neighbor = true;   ///< vehicle in the left lane
+  double trailing_gap = 45.0;  ///< [m] initial gap behind the Ego
+  double neighbor_offset = 10.0;  ///< [m] neighbor's s-offset from the Ego
+
+  /// Build scenario @p sid (1..4) with the given initial gap.
+  /// Throws std::invalid_argument for unknown ids.
+  static Scenario make(int sid, double gap);
+
+  /// "S1".."S4".
+  std::string name() const;
+
+  /// The three initial gaps evaluated in the paper.
+  static constexpr double kGaps[3] = {50.0, 70.0, 100.0};
+};
+
+}  // namespace scaa::sim

@@ -1,0 +1,399 @@
+#include "sim/world.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/math.hpp"
+#include "util/units.hpp"
+
+namespace scaa::sim {
+
+namespace {
+
+/// Lane-tracking steering for scripted (non-ADAS) traffic: curvature
+/// feed-forward plus P on lateral offset and heading error. These vehicles
+/// are ideal drivers — all interesting imperfection lives in the Ego stack.
+double tracking_steer(const road::Road& road,
+                      const vehicle::VehicleState& state,
+                      double lane_center_d, double wheelbase) {
+  const double kp_offset = 0.015;
+  const double kp_heading = 0.8;
+  const double road_heading = road.heading_at(state.s);
+  const double heading_err =
+      math::wrap_angle(road_heading - state.pose.heading);
+  const double curvature = road.curvature_at(state.s) +
+                           kp_offset * (lane_center_d - state.d) +
+                           kp_heading * heading_err * 0.05;
+  return std::atan(wheelbase * curvature);
+}
+
+/// Speed-profile acceleration for the scripted lead.
+double lead_accel(const LeadProfile& profile, double time, double speed) {
+  const double target =
+      time < profile.change_start ? profile.initial_speed : profile.target_speed;
+  const double err = target - speed;
+  return math::clamp(2.0 * err, -profile.change_rate, profile.change_rate);
+}
+
+/// Trailing-traffic car-following law (attentive human: tighter headway
+/// than ACC, harder braking authority).
+double trailing_accel(double gap, double own_speed, double ego_speed) {
+  const double desired_gap = 4.0 + 1.5 * own_speed;
+  const double accel =
+      0.15 * (gap - desired_gap) + 0.8 * (ego_speed - own_speed);
+  return math::clamp(accel, -8.0, 2.0);
+}
+
+}  // namespace
+
+World::World(WorldConfig config)
+    : config_(std::move(config)),
+      road_(road::RoadBuilder::paper_road()),
+      db_(can::Database::simulated_car()) {
+  const auto& profile = road_.profile();
+  util::Rng rng(config_.seed);
+
+  // --- actors -----------------------------------------------------------
+  // Ego starts in the right lane (lane 0, nearer the right guardrail).
+  const double ego_s0 = 30.0;
+  const double lane0 = profile.lane_center(0);
+  ego_ = std::make_unique<vehicle::Vehicle>(road_, config_.ego_params, ego_s0,
+                                            lane0, config_.scenario.ego_speed);
+
+  vehicle::VehicleParams traffic_params = config_.ego_params;
+  const double lead_s0 = ego_s0 + config_.scenario.initial_gap +
+                         config_.ego_params.length;  // bumper gap -> centers
+  lead_ = std::make_unique<vehicle::Vehicle>(
+      road_, traffic_params, lead_s0, lane0,
+      config_.scenario.lead.initial_speed);
+
+  if (config_.scenario.with_trailing) {
+    trailing_ = std::make_unique<vehicle::Vehicle>(
+        road_, traffic_params,
+        ego_s0 - config_.scenario.trailing_gap - config_.ego_params.length,
+        lane0, config_.scenario.ego_speed);
+  }
+  if (config_.scenario.with_neighbor) {
+    neighbor_ = std::make_unique<vehicle::Vehicle>(
+        road_, traffic_params, ego_s0 + config_.scenario.neighbor_offset,
+        profile.lane_center(1), config_.scenario.ego_speed);
+  }
+
+  // --- sensors -----------------------------------------------------------
+  gps_ = std::make_unique<sensors::GpsModel>(msg_bus_, config_.gps,
+                                             rng.fork(11));
+  camera_ = std::make_unique<sensors::CameraLaneModel>(
+      msg_bus_, road_, config_.camera, rng.fork(12));
+  radar_ = std::make_unique<sensors::RadarModel>(msg_bus_, config_.radar,
+                                                 rng.fork(13));
+
+  // --- car gateway: decodes command frames into actuator requests --------
+  gateway_parser_ = std::make_unique<can::CanParser>(db_);
+  can_bus_.attach_receiver([this](const can::CanFrame& frame) {
+    const auto parsed = gateway_parser_->parse(frame);
+    if (!parsed.has_value()) return;
+    if (!parsed->checksum_ok) {
+      ++gateway_rejects_;
+      return;  // the actuator ECU discards tampered frames
+    }
+    if (frame.id == can::msg_id::kSteeringControl) {
+      gateway_steer_cmd_ =
+          units::deg_to_rad(parsed->values.at(can::sig::kSteerAngleCmd));
+    } else if (frame.id == can::msg_id::kGasBrakeCommand) {
+      gateway_accel_cmd_ = parsed->values.at(can::sig::kAccelCmd);
+    }
+  });
+
+  // --- attack engine (interceptor attaches before... see note below) -----
+  // CanBus runs interceptors in attachment order; attaching the attacker
+  // here places it between the ADAS (sender) and the gateway (receiver),
+  // i.e. at the OBD-II position, after OpenPilot's in-process checks.
+  if (config_.attack_enabled) {
+    attack::AttackConfig atk = config_.attack;
+    atk.cruise_speed = config_.scenario.cruise_speed;
+    attack_engine_ = std::make_unique<attack::AttackEngine>(
+        atk, msg_bus_, can_bus_, db_, config_.ego_params.half_width(),
+        rng.fork(14));
+  }
+
+  // --- optional Panda firmware enforcement --------------------------------
+  // The paper's CARLA rig bypasses Panda; enable panda_enforced to study
+  // what the firmware checks would have blocked. Attached after the
+  // attacker, it polices the frames the actuators actually receive.
+  if (config_.panda_enforced) {
+    panda_ = std::make_unique<panda::PandaSafety>(db_, panda::PandaLimits{});
+    panda_->attach(can_bus_);
+  }
+
+  // --- ADAS ----------------------------------------------------------------
+  adas::ControlsConfig cc = config_.controls;
+  cc.cruise_speed = config_.scenario.cruise_speed;
+  controls_ = std::make_unique<adas::Controls>(msg_bus_, can_bus_, db_, cc,
+                                               config_.ego_params,
+                                               rng.fork(16));
+
+  // --- environment disturbance stream --------------------------------------
+  env_rng_ = rng.fork(15);
+
+  // --- driver & monitor ----------------------------------------------------
+  driver_ = std::make_unique<driver::DriverModel>(
+      config_.driver, config_.ego_params.wheelbase);
+  monitor_ = std::make_unique<SafetyMonitor>(road_, config_.monitor,
+                                             /*ego_lane=*/0);
+}
+
+World::~World() = default;
+
+const vehicle::VehicleState& World::ego_state() const noexcept {
+  return ego_->state();
+}
+
+void World::step_traffic() {
+  const double dt = config_.dt;
+  const double lane0 = road_.profile().lane_center(0);
+  const double lane1 = road_.profile().lane_center(1);
+  const auto wheelbase = config_.ego_params.wheelbase;
+
+  {
+    vehicle::ActuatorCommand cmd;
+    cmd.accel = lead_accel(config_.scenario.lead, time_, lead_->state().speed);
+    cmd.steer_angle = tracking_steer(road_, lead_->state(), lane0, wheelbase);
+    lead_->step(cmd, dt);
+  }
+  if (trailing_) {
+    const double gap =
+        vehicle::bumper_gap(trailing_->state(), trailing_->params(),
+                            ego_->state(), ego_->params());
+    vehicle::ActuatorCommand cmd;
+    cmd.accel =
+        trailing_accel(gap, trailing_->state().speed, ego_->state().speed);
+    cmd.steer_angle =
+        tracking_steer(road_, trailing_->state(), lane0, wheelbase);
+    trailing_->step(cmd, dt);
+  }
+  if (neighbor_) {
+    // The neighbor moves with the flow around the Ego (platooning traffic),
+    // holding its initial longitudinal offset — so the left lane stays
+    // occupied when a steering attack pushes the Ego into it.
+    const double desired_s =
+        ego_->state().s + config_.scenario.neighbor_offset;
+    vehicle::ActuatorCommand cmd;
+    cmd.accel = math::clamp(
+        0.6 * (ego_->state().speed - neighbor_->state().speed) +
+            0.05 * (desired_s - neighbor_->state().s),
+        -4.0, 2.0);
+    cmd.steer_angle =
+        tracking_steer(road_, neighbor_->state(), lane1, wheelbase);
+    neighbor_->step(cmd, dt);
+  }
+}
+
+void World::publish_sensors() {
+  const auto& ego = ego_->state();
+  gps_->step(step_index_, ego);
+
+  // The camera anchors to whatever lane the car currently occupies (lane
+  // re-lock after a departure), holding the last lane when off-road.
+  const int lane_now = road_.lane_at(ego.d);
+  if (lane_now >= 0) camera_lane_ = static_cast<std::size_t>(lane_now);
+  camera_->step(step_index_, ego, camera_lane_);
+
+  std::optional<sensors::RadarModel::LeadTruth> lead_truth;
+  if (lead_) {
+    sensors::RadarModel::LeadTruth t;
+    t.gap = vehicle::bumper_gap(ego, ego_->params(), lead_->state(),
+                                lead_->params());
+    t.rel_speed = lead_->state().speed - ego.speed;
+    t.lead_speed = lead_->state().speed;
+    t.lateral_offset = lead_->state().d - ego.d;
+    lead_truth = t;
+  }
+  radar_->step(step_index_, lead_truth);
+
+  msg::CarState cs;
+  cs.mono_time = step_index_;
+  cs.speed = ego.speed;
+  cs.accel = ego.accel;
+  cs.steer_angle = ego.steer_angle;
+  cs.cruise_speed = config_.scenario.cruise_speed;
+  cs.cruise_enabled = controls_ ? controls_->engaged() : true;
+  msg_bus_.publish(cs);
+}
+
+bool World::step() {
+  if (finished_) return false;
+
+  step_traffic();
+  publish_sensors();
+
+  if (attack_engine_) attack_engine_->step(time_, config_.dt);
+
+  controls_->step(step_index_, config_.dt);
+
+  // Driver observation & possible takeover. The driver judges the commands
+  // the car is executing (pedal/wheel positions) and the physical motion.
+  driver::DriverObservation obs;
+  obs.adas_alert = controls_->alerts().any_active();
+  obs.accel_cmd = gateway_accel_cmd_;
+  obs.steer_cmd = gateway_steer_cmd_;
+  obs.nominal_steer = std::atan(config_.ego_params.wheelbase *
+                                road_.curvature_at(ego_->state().s));
+  obs.speed = ego_->state().speed;
+  obs.cruise_speed = config_.scenario.cruise_speed;
+  obs.center_offset =
+      ego_->state().d - road_.profile().lane_center(0);
+  obs.heading_error = math::wrap_angle(road_.heading_at(ego_->state().s) -
+                                       ego_->state().pose.heading);
+  obs.road_curvature = road_.curvature_at(ego_->state().s);
+  if (lead_) {
+    const double gap = vehicle::bumper_gap(ego_->state(), ego_->params(),
+                                           lead_->state(), lead_->params());
+    obs.lead_visible = gap > 0.0 && gap < 150.0;
+    obs.lead_gap = gap;
+    obs.lead_rel_speed = lead_->state().speed - ego_->state().speed;
+  }
+
+  std::optional<vehicle::ActuatorCommand> driver_cmd;
+  if (config_.driver_enabled)
+    driver_cmd = driver_->step(obs, time_, config_.dt);
+
+  if (driver_->engaged() && !driver_was_engaged_) {
+    driver_was_engaged_ = true;
+    if (attack_engine_) attack_engine_->notify_driver_engaged(time_);
+    controls_->set_engaged(false);
+  }
+
+  // Physical steering disturbance (Ornstein-Uhlenbeck): road crown and
+  // crosswind act on whoever is steering, ADAS or human.
+  {
+    const double tc = config_.environment.steer_disturbance_tc;
+    const double sd = config_.environment.steer_disturbance_std;
+    const double theta = 1.0 / tc;
+    steer_disturbance_ +=
+        -theta * steer_disturbance_ * config_.dt +
+        env_rng_.gaussian(0.0, sd * std::sqrt(2.0 * theta * config_.dt));
+  }
+
+  vehicle::ActuatorCommand ego_cmd{gateway_accel_cmd_, gateway_steer_cmd_};
+  if (driver_cmd.has_value()) ego_cmd = *driver_cmd;
+  ego_cmd.steer_angle += steer_disturbance_;
+  ego_->step(ego_cmd, config_.dt);
+
+  // Safety monitoring on the post-step state.
+  MonitorInputs mi;
+  mi.time = time_;
+  mi.ego = ego_->state();
+  mi.ego_params = &ego_->params();
+  if (lead_) {
+    mi.lead = lead_->state();
+    mi.lead_params = &lead_->params();
+  }
+  if (trailing_) {
+    mi.trailing = trailing_->state();
+    mi.trailing_params = &trailing_->params();
+  }
+  if (neighbor_) {
+    mi.neighbor = neighbor_->state();
+    mi.neighbor_params = &neighbor_->params();
+  }
+  mi.cruise_speed = config_.scenario.cruise_speed;
+  const bool terminal_accident = monitor_->update(mi);
+
+  // Alert-before-hazard bookkeeping.
+  const std::uint64_t alert_events = controls_->alerts().total_events();
+  if (alert_events > last_alert_events_ && !monitor_->any_hazard())
+    alert_seen_before_hazard_ = true;
+  last_alert_events_ = alert_events;
+
+  time_ += config_.dt;
+  ++step_index_;
+  if (terminal_accident || time_ >= config_.duration) finished_ = true;
+  return !finished_;
+}
+
+void World::record(Trace* trace, const vehicle::ActuatorCommand& cmd) {
+  if (trace == nullptr) return;
+  const auto& profile = road_.profile();
+  TraceRow row;
+  row.time = time_;
+  row.ego_s = ego_->state().s;
+  row.ego_d = ego_->state().d;
+  row.ego_speed = ego_->state().speed;
+  row.ego_accel = ego_->state().accel;
+  row.ego_steer = ego_->state().steer_angle;
+  row.lane_center = profile.lane_center(0);
+  row.lane_left = profile.lane_left_edge(0);
+  row.lane_right = profile.lane_right_edge(0);
+  row.lead_gap = lead_ ? vehicle::bumper_gap(ego_->state(), ego_->params(),
+                                             lead_->state(), lead_->params())
+                       : -1.0;
+  row.accel_cmd = cmd.accel;
+  row.steer_cmd = cmd.steer_angle;
+  row.attack_active = attack_engine_ && attack_engine_->stats().active_now;
+  row.alert_active = controls_->alerts().any_active();
+  row.driver_engaged = driver_->engaged();
+  trace->add(row);
+}
+
+SimulationSummary World::run(Trace* trace) {
+  if (trace != nullptr)
+    trace->reserve(static_cast<std::size_t>(config_.duration / config_.dt) + 1);
+  while (true) {
+    const bool more = step();
+    record(trace, {gateway_accel_cmd_, gateway_steer_cmd_});
+    if (!more) break;
+  }
+  return summarize();
+}
+
+SimulationSummary World::summarize() const {
+  using attack::HazardClass;
+  SimulationSummary s;
+  s.any_hazard = monitor_->any_hazard();
+  s.first_hazard = monitor_->first_hazard();
+  s.first_hazard_time = monitor_->first_hazard_time();
+  s.hazard_h1 = monitor_->hazard_occurred(HazardClass::kH1);
+  s.hazard_h2 = monitor_->hazard_occurred(HazardClass::kH2);
+  s.hazard_h3 = monitor_->hazard_occurred(HazardClass::kH3);
+  s.hazard_h1_time = monitor_->hazard_time(HazardClass::kH1);
+  s.hazard_h2_time = monitor_->hazard_time(HazardClass::kH2);
+  s.hazard_h3_time = monitor_->hazard_time(HazardClass::kH3);
+
+  s.any_accident = monitor_->any_accident();
+  s.first_accident = monitor_->first_accident();
+  s.first_accident_time = monitor_->first_accident_time();
+  s.accident_a1 = monitor_->accident_occurred(AccidentClass::kA1LeadCollision);
+  s.accident_a2 = monitor_->accident_occurred(AccidentClass::kA2RearEnd);
+  s.accident_a3 = monitor_->accident_occurred(AccidentClass::kA3Roadside);
+
+  s.alert_events = controls_->alerts().total_events();
+  s.steer_saturated_events = controls_->alerts().steer_saturated_events();
+  s.fcw_events = controls_->alerts().fcw_events();
+  s.alert_before_hazard = alert_seen_before_hazard_;
+
+  s.lane_invasions = monitor_->lane_invasion_events();
+  s.lane_invasion_rate =
+      time_ > 0.0 ? static_cast<double>(s.lane_invasions) / time_ : 0.0;
+
+  if (attack_engine_) {
+    const auto stats = attack_engine_->stats();
+    s.attack_activated = stats.first_activation >= 0.0;
+    s.attack_start = stats.first_activation;
+    s.attack_duration =
+        static_cast<double>(stats.cycles_active) * config_.dt;
+    s.frames_corrupted = stats.frames_corrupted;
+    if (s.any_hazard && s.attack_activated &&
+        s.first_hazard_time >= s.attack_start)
+      s.tth = s.first_hazard_time - s.attack_start;
+  }
+
+  s.driver_engaged = driver_->engaged();
+  s.driver_engage_time = driver_->engage_time();
+  s.driver_perception_time = driver_->perception_time();
+  s.sim_end_time = time_;
+  s.can_checksum_rejects = gateway_rejects_;
+  if (panda_) s.panda_frames_blocked = panda_->stats().frames_blocked;
+  return s;
+}
+
+}  // namespace scaa::sim

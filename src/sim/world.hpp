@@ -1,0 +1,183 @@
+#pragma once
+
+/// @file world.hpp
+/// The closed-loop simulation world (paper Fig. 5): CARLA-substitute
+/// physics + OpenPilot-substitute ADAS + driver reaction simulator +
+/// attack/fault-injection engine, stepped at 100 Hz for 50 s.
+
+#include <memory>
+#include <optional>
+
+#include "adas/controls.hpp"
+#include "attack/engine.hpp"
+#include "can/bus.hpp"
+#include "can/database.hpp"
+#include "can/packer.hpp"
+#include "driver/driver_model.hpp"
+#include "msg/bus.hpp"
+#include "panda/safety.hpp"
+#include "road/builder.hpp"
+#include "sensors/camera.hpp"
+#include "sensors/gps.hpp"
+#include "sensors/radar.hpp"
+#include "sim/hazard.hpp"
+#include "sim/scenario.hpp"
+#include "sim/trace.hpp"
+#include "vehicle/vehicle.hpp"
+
+namespace scaa::sim {
+
+/// Physical disturbances acting on the Ego (road crown, crosswind,
+/// steering stiction) — the execution-side imperfection that, together
+/// with perception error, produces the paper's imperfect lane centering.
+struct EnvironmentConfig {
+  double steer_disturbance_std = 0.0045; ///< [rad] ~0.26 deg stationary std
+  double steer_disturbance_tc = 3.0;     ///< [s] OU correlation time
+};
+
+/// Everything configurable about one simulation run.
+struct WorldConfig {
+  Scenario scenario;
+  EnvironmentConfig environment;
+  bool attack_enabled = false;
+  attack::AttackConfig attack;
+  bool driver_enabled = true;
+  bool panda_enforced = false;  ///< paper: bypassed in the CARLA rig
+  std::uint64_t seed = 1;
+  double duration = 50.0;  ///< [s] 5000 steps
+  double dt = 0.01;        ///< [s] 100 Hz
+
+  vehicle::VehicleParams ego_params;
+  adas::ControlsConfig controls;
+  sensors::GpsConfig gps;
+  sensors::CameraConfig camera;
+  sensors::RadarConfig radar;
+  driver::DriverConfig driver;
+  SafetyMonitorConfig monitor;
+};
+
+/// Outcome summary of one simulation (the unit the campaign aggregates).
+struct SimulationSummary {
+  // hazards
+  bool any_hazard = false;
+  attack::HazardClass first_hazard = attack::HazardClass::kNone;
+  double first_hazard_time = -1.0;
+  bool hazard_h1 = false, hazard_h2 = false, hazard_h3 = false;
+  double hazard_h1_time = -1.0, hazard_h2_time = -1.0, hazard_h3_time = -1.0;
+  // accidents
+  bool any_accident = false;
+  AccidentClass first_accident = AccidentClass::kNone;
+  double first_accident_time = -1.0;
+  bool accident_a1 = false, accident_a2 = false, accident_a3 = false;
+  // alerts
+  std::uint64_t alert_events = 0;
+  std::uint64_t steer_saturated_events = 0;
+  std::uint64_t fcw_events = 0;
+  bool alert_before_hazard = false;  ///< an alert preceded the first hazard
+  // lane invasions
+  std::uint64_t lane_invasions = 0;
+  double lane_invasion_rate = 0.0;  ///< events per second
+  // attack
+  bool attack_activated = false;
+  double attack_start = -1.0;
+  double attack_duration = 0.0;  ///< [s] total time the attack was live
+  double tth = -1.0;  ///< first hazard time - attack start; <0 when n/a
+  std::uint64_t frames_corrupted = 0;
+  // driver
+  bool driver_engaged = false;
+  double driver_engage_time = -1.0;
+  double driver_perception_time = -1.0;
+  // bookkeeping
+  double sim_end_time = 0.0;
+  std::uint64_t can_checksum_rejects = 0;
+  std::uint64_t panda_frames_blocked = 0;  ///< only when panda_enforced
+};
+
+/// The world. Construct, then run() once. One world = one simulation;
+/// campaigns create many worlds (cheap: everything is in-process).
+class World {
+ public:
+  explicit World(WorldConfig config);
+  ~World();
+
+  World(const World&) = delete;
+  World& operator=(const World&) = delete;
+
+  /// Run to completion (or first accident). Pass a trace to record steps.
+  SimulationSummary run(Trace* trace = nullptr);
+
+  /// Advance a single step; returns false when the simulation is over.
+  /// (Exposed for incremental inspection in tests/examples.)
+  bool step();
+
+  /// --- state access (valid between construction and end of run) ---
+  double time() const noexcept { return time_; }
+  const vehicle::VehicleState& ego_state() const noexcept;
+  const road::Road& road() const noexcept { return road_; }
+  const SafetyMonitor& monitor() const noexcept { return *monitor_; }
+  const adas::Controls& controls() const noexcept { return *controls_; }
+  const attack::AttackEngine* attack_engine() const noexcept {
+    return attack_engine_.get();
+  }
+  const driver::DriverModel& driver_model() const noexcept { return *driver_; }
+
+  /// Summary from the current state (final after run()).
+  SimulationSummary summarize() const;
+
+  /// The in-process messaging bus — exposed because it IS the attack
+  /// surface: anything may subscribe (see examples/eavesdropper.cpp).
+  msg::PubSubBus& message_bus() noexcept { return msg_bus_; }
+
+  /// The CAN bus, likewise exposed for taps/interceptors.
+  can::CanBus& can() noexcept { return can_bus_; }
+
+  /// The DBC database of the simulated car.
+  const can::Database& dbc() const noexcept { return db_; }
+
+ private:
+  void step_traffic();
+  void publish_sensors();
+  vehicle::ActuatorCommand receive_actuator_commands();
+  void record(Trace* trace, const vehicle::ActuatorCommand& cmd);
+
+  WorldConfig config_;
+  road::Road road_;
+  can::Database db_;
+
+  msg::PubSubBus msg_bus_;
+  can::CanBus can_bus_;
+
+  std::unique_ptr<vehicle::Vehicle> ego_;
+  std::unique_ptr<vehicle::Vehicle> lead_;
+  std::unique_ptr<vehicle::Vehicle> trailing_;
+  std::unique_ptr<vehicle::Vehicle> neighbor_;
+
+  std::unique_ptr<sensors::GpsModel> gps_;
+  std::unique_ptr<sensors::CameraLaneModel> camera_;
+  std::unique_ptr<sensors::RadarModel> radar_;
+
+  std::unique_ptr<adas::Controls> controls_;
+  std::unique_ptr<attack::AttackEngine> attack_engine_;
+  std::unique_ptr<panda::PandaSafety> panda_;
+  std::unique_ptr<driver::DriverModel> driver_;
+  std::unique_ptr<SafetyMonitor> monitor_;
+  std::unique_ptr<can::CanParser> gateway_parser_;
+
+  // Latest decoded actuator commands at the "car gateway".
+  double gateway_accel_cmd_ = 0.0;
+  double gateway_steer_cmd_ = 0.0;
+  std::uint64_t gateway_rejects_ = 0;
+  std::size_t camera_lane_ = 0;  ///< lane the camera is currently locked to
+
+  util::Rng env_rng_{0};
+  double steer_disturbance_ = 0.0;
+
+  double time_ = 0.0;
+  std::uint64_t step_index_ = 0;
+  bool finished_ = false;
+  bool driver_was_engaged_ = false;
+  std::uint64_t last_alert_events_ = 0;
+  bool alert_seen_before_hazard_ = false;
+};
+
+}  // namespace scaa::sim

@@ -1,0 +1,51 @@
+#pragma once
+
+/// @file logging.hpp
+/// Minimal leveled logging.
+///
+/// The simulation hot loop never logs; logging exists for the campaign
+/// runner, examples, and debugging. Output goes to stderr so bench stdout
+/// stays machine-parsable.
+
+#include <sstream>
+#include <string>
+
+namespace scaa::util {
+
+/// Severity levels in increasing order.
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Global minimum level; messages below it are dropped. Defaults to kInfo.
+void set_log_level(LogLevel level) noexcept;
+
+/// Current minimum level.
+LogLevel log_level() noexcept;
+
+/// Emit one log line (thread-safe; one atomic write per line).
+void log_line(LogLevel level, const std::string& message);
+
+/// Stream-style helper: LogStream(kInfo) << "x=" << x; emits on destruction.
+class LogStream {
+ public:
+  explicit LogStream(LogLevel level) : level_(level) {}
+  LogStream(const LogStream&) = delete;
+  LogStream& operator=(const LogStream&) = delete;
+  ~LogStream();
+
+  template <typename T>
+  LogStream& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace scaa::util
+
+#define SCAA_LOG_DEBUG() ::scaa::util::LogStream(::scaa::util::LogLevel::kDebug)
+#define SCAA_LOG_INFO() ::scaa::util::LogStream(::scaa::util::LogLevel::kInfo)
+#define SCAA_LOG_WARN() ::scaa::util::LogStream(::scaa::util::LogLevel::kWarn)
+#define SCAA_LOG_ERROR() ::scaa::util::LogStream(::scaa::util::LogLevel::kError)

@@ -1,0 +1,50 @@
+#pragma once
+
+/// @file math.hpp
+/// Small numeric helpers shared across modules.
+
+#include <algorithm>
+#include <cmath>
+
+namespace scaa::math {
+
+/// Clamp @p v to the closed interval [@p lo, @p hi]. Requires lo <= hi.
+constexpr double clamp(double v, double lo, double hi) noexcept {
+  return v < lo ? lo : (v > hi ? hi : v);
+}
+
+/// Linear interpolation between @p a and @p b by fraction @p t in [0,1].
+constexpr double lerp(double a, double b, double t) noexcept {
+  return a + (b - a) * t;
+}
+
+/// Piecewise-linear interpolation of y(x) over sorted breakpoints.
+/// Outside the table the first/last value is held (OpenPilot's `interp`).
+double interp(double x, const double* xs, const double* ys, int n) noexcept;
+
+/// Sign of @p v as -1.0, 0.0 or +1.0.
+constexpr double sign(double v) noexcept {
+  return (v > 0.0) ? 1.0 : (v < 0.0 ? -1.0 : 0.0);
+}
+
+/// True when |a - b| <= tol.
+constexpr bool near(double a, double b, double tol) noexcept {
+  return (a > b ? a - b : b - a) <= tol;
+}
+
+/// Move @p current toward @p target by at most @p max_delta (rate limiter).
+constexpr double rate_limit(double current, double target,
+                            double max_delta) noexcept {
+  return clamp(target, current - max_delta, current + max_delta);
+}
+
+/// Wrap an angle to (-pi, pi].
+double wrap_angle(double rad) noexcept;
+
+/// First-order low-pass filter step: returns the new filtered value.
+/// @p alpha in [0,1]: 0 keeps the old value, 1 takes the new sample.
+constexpr double lowpass(double prev, double sample, double alpha) noexcept {
+  return prev + alpha * (sample - prev);
+}
+
+}  // namespace scaa::math

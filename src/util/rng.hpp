@@ -1,0 +1,60 @@
+#pragma once
+
+/// @file rng.hpp
+/// Deterministic random number generation.
+///
+/// Every simulation must be a pure function of (scenario, strategy, seed) so
+/// that campaigns are reproducible bit-for-bit regardless of thread count.
+/// We use xoshiro256++ seeded via SplitMix64; both are tiny, fast and have
+/// well-studied statistical quality. No global RNG state exists anywhere in
+/// scaa: each component that needs randomness receives an Rng (or a stream
+/// forked from one) explicitly.
+
+#include <cstdint>
+
+namespace scaa::util {
+
+/// SplitMix64 step; used to expand a single 64-bit seed into stream state.
+std::uint64_t splitmix64(std::uint64_t& state) noexcept;
+
+/// xoshiro256++ PRNG with explicit state. Satisfies the essentials of
+/// UniformRandomBitGenerator but we deliberately provide our own
+/// distributions: libstdc++'s std::normal_distribution is not stable across
+/// implementations, and reproducibility matters more than textbook variety.
+class Rng {
+ public:
+  /// Construct from a 64-bit seed (expanded through SplitMix64).
+  explicit Rng(std::uint64_t seed) noexcept;
+
+  /// Next raw 64 random bits.
+  std::uint64_t next() noexcept;
+
+  /// Uniform double in [0, 1).
+  double uniform() noexcept;
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) noexcept;
+
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  int uniform_int(int lo, int hi) noexcept;
+
+  /// Standard normal deviate (Marsaglia polar method, deterministic).
+  double gaussian() noexcept;
+
+  /// Normal deviate with the given mean and standard deviation.
+  double gaussian(double mean, double stddev) noexcept;
+
+  /// Bernoulli draw with probability @p p of returning true.
+  bool bernoulli(double p) noexcept;
+
+  /// Fork an independent stream: deterministic child RNG derived from this
+  /// stream's state and @p stream_id. Forking does not perturb the parent.
+  [[nodiscard]] Rng fork(std::uint64_t stream_id) const noexcept;
+
+ private:
+  std::uint64_t s_[4];
+  double cached_gaussian_ = 0.0;
+  bool has_cached_gaussian_ = false;
+};
+
+}  // namespace scaa::util

@@ -1,0 +1,80 @@
+#pragma once
+
+/// @file stats.hpp
+/// Streaming statistics accumulators used by the experiment harness.
+
+#include <cstddef>
+#include <vector>
+
+namespace scaa::util {
+
+/// Welford-style streaming accumulator for mean / variance / extrema.
+/// Numerically stable for long campaigns; O(1) per sample.
+class RunningStats {
+ public:
+  /// Add one sample.
+  void add(double x) noexcept;
+
+  /// Merge another accumulator into this one (parallel reduction).
+  void merge(const RunningStats& other) noexcept;
+
+  /// Number of samples seen.
+  std::size_t count() const noexcept { return n_; }
+
+  /// Arithmetic mean; 0 when empty.
+  double mean() const noexcept { return n_ ? mean_ : 0.0; }
+
+  /// Population variance; 0 with fewer than 2 samples.
+  double variance() const noexcept;
+
+  /// Population standard deviation.
+  double stddev() const noexcept;
+
+  /// Smallest sample; 0 when empty.
+  double min() const noexcept { return n_ ? min_ : 0.0; }
+
+  /// Largest sample; 0 when empty.
+  double max() const noexcept { return n_ ? max_ : 0.0; }
+
+  /// Sum of all samples.
+  double sum() const noexcept { return mean_ * static_cast<double>(n_); }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Fixed-width histogram over [lo, hi); samples outside are clamped into the
+/// first/last bin. Used for TTH distributions and parameter-space summaries.
+class Histogram {
+ public:
+  /// Create with @p bins bins spanning [@p lo, @p hi). Requires bins >= 1,
+  /// lo < hi.
+  Histogram(double lo, double hi, std::size_t bins);
+
+  /// Add one sample.
+  void add(double x) noexcept;
+
+  /// Count in bin @p i.
+  std::size_t bin_count(std::size_t i) const { return counts_.at(i); }
+
+  /// Number of bins.
+  std::size_t bins() const noexcept { return counts_.size(); }
+
+  /// Lower edge of bin @p i.
+  double bin_lo(std::size_t i) const noexcept;
+
+  /// Total number of samples.
+  std::size_t total() const noexcept { return total_; }
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace scaa::util

@@ -1,0 +1,4 @@
+#include "util/units.hpp"
+
+// Header-only; translation unit exists so the module participates in the
+// build graph and static checks run over the header.

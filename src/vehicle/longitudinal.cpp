@@ -1,0 +1,44 @@
+#include "vehicle/longitudinal.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/math.hpp"
+
+namespace scaa::vehicle {
+
+void LongitudinalDynamics::reset(double speed) noexcept {
+  speed_ = std::max(0.0, speed);
+  actuated_accel_ = 0.0;
+  realized_accel_ = 0.0;
+}
+
+void LongitudinalDynamics::step(double accel_cmd, double dt) noexcept {
+  // Clip the request to physical capability before the lag: an ECU cannot
+  // even request more than the hardware delivers.
+  const double clipped =
+      math::clamp(accel_cmd, -params_.max_brake_decel, params_.max_engine_accel);
+
+  // First-order actuator lag.
+  const double alpha = dt / (params_.accel_time_constant + dt);
+  actuated_accel_ = math::lowpass(actuated_accel_, clipped, alpha);
+
+  // Resistive decelerations (always opposing motion).
+  const double drag_decel =
+      0.5 * params_.air_density * params_.drag_area_cd * speed_ * speed_ /
+      params_.mass;
+  const double rolling_decel =
+      speed_ > 0.05 ? params_.rolling_resistance * 9.80665 : 0.0;
+
+  // The powertrain control compensates steady resistances at cruise; model
+  // the command as net of resistances when positive, and add them when
+  // coasting/braking so lifting off the gas slows the car down.
+  double net = actuated_accel_;
+  if (actuated_accel_ <= 0.0) net -= (drag_decel + rolling_decel);
+
+  const double new_speed = std::max(0.0, speed_ + net * dt);
+  realized_accel_ = (new_speed - speed_) / dt;
+  speed_ = new_speed;
+}
+
+}  // namespace scaa::vehicle

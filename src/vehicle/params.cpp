@@ -1,0 +1,3 @@
+#include "vehicle/params.hpp"
+
+// Aggregate of defaults; no out-of-line logic required.

@@ -1,0 +1,34 @@
+#pragma once
+
+/// @file params.hpp
+/// Physical and actuator parameters of a simulated vehicle.
+
+namespace scaa::vehicle {
+
+/// Parameter set for the dynamics models. Defaults approximate a mid-size
+/// sedan (Honda-Civic-like, the archetypal OpenPilot port).
+struct VehicleParams {
+  // --- geometry ---
+  double length = 4.6;          ///< [m] bumper to bumper
+  double width = 1.8;           ///< [m]
+  double wheelbase = 2.7;       ///< [m]
+
+  // --- mass / longitudinal ---
+  double mass = 1450.0;         ///< [kg]
+  double max_engine_accel = 3.0;   ///< [m/s^2] powertrain ceiling
+  double max_brake_decel = 9.0;    ///< [m/s^2] friction-limited braking
+  double drag_area_cd = 0.62;      ///< [m^2] Cd*A
+  double air_density = 1.225;      ///< [kg/m^3]
+  double rolling_resistance = 0.011;  ///< dimensionless Crr
+
+  // --- actuator response ---
+  double accel_time_constant = 0.25;  ///< [s] gas/brake first-order lag
+  double steer_time_constant = 0.12;  ///< [s] steering actuator lag
+  double max_steer_angle = 0.35;      ///< [rad] road-wheel angle limit (~20 deg)
+  double max_steer_rate = 0.6;        ///< [rad/s] road-wheel slew limit
+
+  /// Half of the body width; used by lane-invasion and guardrail checks.
+  double half_width() const noexcept { return 0.5 * width; }
+};
+
+}  // namespace scaa::vehicle

@@ -1,0 +1,125 @@
+// Tests for the DBC text parser/writer.
+
+#include <gtest/gtest.h>
+
+#include "can/dbc_text.hpp"
+#include "can/packer.hpp"
+
+namespace {
+
+using namespace scaa;
+
+constexpr const char* kSample = R"(VERSION ""
+
+BS_:
+
+BU_: EON CAR
+
+BO_ 228 STEERING_CONTROL: 5 EON
+ SG_ STEER_ANGLE_CMD : 7|16@0- (0.01,0) [-327.68|327.67] "deg" CAR
+ SG_ STEER_ENABLED : 23|1@0+ (1,0) [0|1] "" CAR
+
+CM_ SG_ 228 STEER_ANGLE_CMD "road wheel angle request";
+
+BO_ 506 GAS_BRAKE_COMMAND: 6 EON
+ SG_ ACCEL_CMD : 7|16@0- (0.001,0) [-32.768|32.767] "m/s^2" CAR
+)";
+
+TEST(DbcText, ParsesMessagesAndSignals) {
+  const auto messages = can::parse_dbc(kSample);
+  ASSERT_EQ(messages.size(), 2u);
+  EXPECT_EQ(messages[0].name, "STEERING_CONTROL");
+  EXPECT_EQ(messages[0].id, 228u);
+  EXPECT_EQ(messages[0].size, 5);
+  ASSERT_EQ(messages[0].signals.size(), 2u);
+  const auto& angle = messages[0].signals[0];
+  EXPECT_EQ(angle.name, "STEER_ANGLE_CMD");
+  EXPECT_EQ(angle.start_bit, 7);
+  EXPECT_EQ(angle.size, 16);
+  EXPECT_EQ(angle.order, can::ByteOrder::kBigEndian);
+  EXPECT_TRUE(angle.is_signed);
+  EXPECT_DOUBLE_EQ(angle.factor, 0.01);
+  EXPECT_EQ(messages[1].name, "GAS_BRAKE_COMMAND");
+  EXPECT_EQ(messages[1].id, 506u);
+}
+
+TEST(DbcText, LittleEndianAndOffset) {
+  const auto messages = can::parse_dbc(
+      "BO_ 100 M: 8 X\n SG_ S : 4|12@1+ (0.5,10) [10|2057.5] \"\" Y\n");
+  ASSERT_EQ(messages.size(), 1u);
+  const auto& s = messages[0].signals.at(0);
+  EXPECT_EQ(s.order, can::ByteOrder::kLittleEndian);
+  EXPECT_FALSE(s.is_signed);
+  EXPECT_DOUBLE_EQ(s.offset, 10.0);
+}
+
+TEST(DbcText, HondaChecksumTagging) {
+  const auto messages = can::parse_dbc(kSample, /*tag_honda=*/true);
+  EXPECT_EQ(messages[0].checksum, can::ChecksumKind::kHonda);
+  const auto untagged = can::parse_dbc(kSample, false);
+  EXPECT_EQ(untagged[0].checksum, can::ChecksumKind::kNone);
+}
+
+TEST(DbcText, RejectsMalformedInput) {
+  EXPECT_THROW(can::parse_dbc("BO_ nonsense\n"), std::invalid_argument);
+  EXPECT_THROW(can::parse_dbc("SG_ ORPHAN : 0|8@1+ (1,0) [0|255] \"\" X\n"),
+               std::invalid_argument);
+  EXPECT_THROW(can::parse_dbc("BO_ 1 M: 99 X\n"), std::invalid_argument);
+  EXPECT_THROW(
+      can::parse_dbc("BO_ 1 M: 8 X\n SG_ S : 0|8@7+ (1,0) [0|1] \"\" Y\n"),
+      std::invalid_argument);
+  EXPECT_THROW(
+      can::parse_dbc("BO_ 1 M: 8 X\n SG_ S : 0|8@1+ (0,0) [0|1] \"\" Y\n"),
+      std::invalid_argument);
+}
+
+TEST(DbcText, IgnoresUnknownSections) {
+  const auto messages = can::parse_dbc(
+      "VERSION \"x\"\nNS_ :\n  CM_\nBA_DEF_ \"z\" INT 0 1;\n"
+      "BO_ 5 M: 2 X\n SG_ S : 7|8@0+ (1,0) [0|255] \"\" Y\n"
+      "VAL_ 5 S 0 \"off\" 1 \"on\";\n");
+  EXPECT_EQ(messages.size(), 1u);
+}
+
+TEST(DbcText, WriterRoundTrips) {
+  const auto original = can::Database::simulated_car().messages();
+  const std::string text = can::write_dbc(original);
+  const auto reparsed = can::parse_dbc(text, /*tag_honda=*/true);
+  ASSERT_EQ(reparsed.size(), original.size());
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    EXPECT_EQ(reparsed[i].name, original[i].name);
+    EXPECT_EQ(reparsed[i].id, original[i].id);
+    EXPECT_EQ(reparsed[i].size, original[i].size);
+    ASSERT_EQ(reparsed[i].signals.size(), original[i].signals.size());
+    for (std::size_t j = 0; j < original[i].signals.size(); ++j) {
+      const auto& a = original[i].signals[j];
+      const auto& b = reparsed[i].signals[j];
+      EXPECT_EQ(b.name, a.name);
+      EXPECT_EQ(b.start_bit, a.start_bit);
+      EXPECT_EQ(b.size, a.size);
+      EXPECT_EQ(b.order, a.order);
+      EXPECT_EQ(b.is_signed, a.is_signed);
+      EXPECT_DOUBLE_EQ(b.factor, a.factor);
+      EXPECT_DOUBLE_EQ(b.offset, a.offset);
+    }
+  }
+}
+
+TEST(DbcText, ParsedDatabaseDecodesRealFrames) {
+  // Frames packed with the built-in database decode identically through a
+  // database built from the DBC text — the attacker's offline workflow.
+  const auto built_in = can::Database::simulated_car();
+  const can::Database from_text(
+      can::parse_dbc(can::simulated_car_dbc(), /*tag_honda=*/true));
+  can::CanPacker packer(built_in);
+  can::CanParser parser(from_text);
+  const auto frame = packer.pack("STEERING_CONTROL",
+                                 {{can::sig::kSteerAngleCmd, -1.23},
+                                  {can::sig::kSteerEnabled, 1.0}});
+  const auto parsed = parser.parse(frame);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_TRUE(parsed->checksum_ok);
+  EXPECT_NEAR(parsed->values.at(can::sig::kSteerAngleCmd), -1.23, 0.01);
+}
+
+}  // namespace

@@ -1,0 +1,155 @@
+// Tests for scaa::defense: control-invariant detector, context-aware
+// monitor, and the end-to-end harness.
+
+#include <gtest/gtest.h>
+
+#include "defense/harness.hpp"
+#include "exp/campaign.hpp"
+
+namespace {
+
+using namespace scaa;
+
+TEST(ControlInvariant, QuietOnConsistentSignals) {
+  defense::ControlInvariantDetector det{defense::InvariantConfig{}};
+  defense::InvariantInputs in;
+  for (int i = 0; i < 5000; ++i) {
+    in.intent_accel = 0.5;
+    in.wire_accel = 0.5;       // no rewrite
+    in.measured_accel = 0.5;   // physics agrees
+    EXPECT_FALSE(det.update(in, 0.01));
+  }
+  EXPECT_FALSE(det.alarmed());
+}
+
+TEST(ControlInvariant, IntentChannelCatchesRewrite) {
+  defense::ControlInvariantDetector det{defense::InvariantConfig{}};
+  defense::InvariantInputs in;
+  in.intent_accel = 0.0;   // ADAS wanted nothing
+  in.wire_accel = 2.0;     // the bus carries an attack value
+  in.measured_accel = 2.0; // physics consistent with the wire (no help there)
+  bool alarmed = false;
+  double t = 0.0;
+  for (int i = 0; i < 500 && !alarmed; ++i) {
+    alarmed = det.update(in, 0.01);
+    t += 0.01;
+  }
+  EXPECT_TRUE(alarmed);
+  EXPECT_LT(t, 0.5);  // detected within half a second
+}
+
+TEST(ControlInvariant, IntentChannelCatchesSteerRewrite) {
+  defense::ControlInvariantDetector det{defense::InvariantConfig{}};
+  defense::InvariantInputs in;
+  in.intent_steer = 0.001;
+  in.wire_steer = 0.001 + 0.0044;  // the strategic 0.25 deg override
+  bool alarmed = false;
+  for (int i = 0; i < 500 && !alarmed; ++i) alarmed = det.update(in, 0.01);
+  EXPECT_TRUE(alarmed);
+}
+
+TEST(ControlInvariant, PhysicsChannelCatchesResponseMismatch) {
+  defense::ControlInvariantDetector det{defense::InvariantConfig{}};
+  defense::InvariantInputs in;
+  in.intent_accel = 1.0;
+  in.wire_accel = 1.0;        // wire agrees with intent...
+  in.measured_accel = -3.0;   // ...but the car does something else entirely
+  bool alarmed = false;
+  for (int i = 0; i < 1000 && !alarmed; ++i) alarmed = det.update(in, 0.01);
+  EXPECT_TRUE(alarmed);
+  EXPECT_GT(det.physics_score(), 0.0);
+}
+
+defense::MonitorInputs safe_monitor_inputs() {
+  defense::MonitorInputs in;
+  in.context.speed = 26.82;
+  in.context.lead_valid = true;
+  in.context.hwt = 1.7;
+  in.context.rel_speed = 0.0;
+  in.context.d_left = 1.0;
+  in.context.d_right = 1.0;
+  in.context.perception_valid = true;
+  return in;
+}
+
+TEST(ContextMonitor, QuietOnSafeActions) {
+  defense::ContextAwareMonitor mon{defense::MonitorConfig{}};
+  auto in = safe_monitor_inputs();
+  in.wire_accel = 0.2;  // gentle cruise corrections
+  for (int i = 0; i < 5000; ++i) EXPECT_FALSE(mon.update(in, 0.01));
+}
+
+TEST(ContextMonitor, FlagsAccelerationTowardLead) {
+  defense::ContextAwareMonitor mon{defense::MonitorConfig{}};
+  auto in = safe_monitor_inputs();
+  in.context.hwt = 1.5;       // rule 1 context...
+  in.context.rel_speed = 4.0;
+  in.wire_accel = 2.0;        // ...while the wire says "accelerate"
+  bool alarmed = false;
+  for (int i = 0; i < 300 && !alarmed; ++i) alarmed = mon.update(in, 0.01);
+  EXPECT_TRUE(alarmed);
+  EXPECT_EQ(mon.alarm_action(), attack::UnsafeAction::kAcceleration);
+}
+
+TEST(ContextMonitor, FlagsSteeringTowardEdge) {
+  defense::ContextAwareMonitor mon{defense::MonitorConfig{}};
+  auto in = safe_monitor_inputs();
+  in.context.d_right = 0.05;   // at the right edge...
+  in.wire_steer = -0.0044;     // ...steering further right
+  bool alarmed = false;
+  for (int i = 0; i < 300 && !alarmed; ++i) alarmed = mon.update(in, 0.01);
+  EXPECT_TRUE(alarmed);
+  EXPECT_EQ(mon.alarm_action(), attack::UnsafeAction::kSteerRight);
+}
+
+TEST(ContextMonitor, PersistenceFiltersTransients) {
+  defense::ContextAwareMonitor mon{defense::MonitorConfig{}};
+  auto unsafe = safe_monitor_inputs();
+  unsafe.context.hwt = 1.5;
+  unsafe.context.rel_speed = 4.0;
+  unsafe.wire_accel = 2.0;
+  auto safe = safe_monitor_inputs();
+  // Alternate: 0.5 s unsafe (below the 1.0 s persistence), 0.5 s safe.
+  for (int cycle = 0; cycle < 10; ++cycle) {
+    for (int i = 0; i < 50; ++i) EXPECT_FALSE(mon.update(unsafe, 0.01));
+    for (int i = 0; i < 50; ++i) EXPECT_FALSE(mon.update(safe, 0.01));
+  }
+  EXPECT_FALSE(mon.alarmed());
+}
+
+TEST(Harness, DetectsContextAwareStrategicAttack) {
+  exp::CampaignItem item;
+  item.strategy = attack::StrategyKind::kContextAware;
+  item.type = attack::AttackType::kDeceleration;
+  item.strategic_values = true;
+  item.scenario_id = 1;
+  item.initial_gap = 100.0;
+  item.seed = 4242;
+  sim::World world(exp::world_config_for(item));
+  defense::DefenseHarness harness(world, defense::InvariantConfig{},
+                                  defense::MonitorConfig{});
+  sim::SimulationSummary summary;
+  const auto outcome = harness.run(&summary);
+  ASSERT_TRUE(summary.attack_activated);
+  // The intent channel sees the rewrite even though every value is inside
+  // the safety envelope.
+  EXPECT_TRUE(outcome.invariant_alarmed);
+  EXPECT_GE(outcome.invariant_latency, 0.0);
+  EXPECT_LT(outcome.invariant_latency, 1.0);
+}
+
+TEST(Harness, QuietOnCleanDrive) {
+  exp::CampaignItem item;
+  item.strategy = attack::StrategyKind::kNone;
+  item.scenario_id = 2;
+  item.initial_gap = 70.0;
+  item.seed = 4242;
+  sim::World world(exp::world_config_for(item));
+  defense::DefenseHarness harness(world, defense::InvariantConfig{},
+                                  defense::MonitorConfig{});
+  const auto outcome = harness.run();
+  EXPECT_FALSE(outcome.invariant_alarmed);
+  EXPECT_FALSE(outcome.monitor_alarmed);
+}
+
+}  // namespace

@@ -1,0 +1,188 @@
+// Unit tests for scaa::driver (Eq. 4 ramp, perception, state machine,
+// anomaly-dependent responses).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "driver/driver_model.hpp"
+
+namespace {
+
+using namespace scaa;
+
+TEST(BrakeRamp, MatchesEquation4) {
+  // brake(t) = e^{10t-12} / (1 + e^{10t-12})
+  auto expected = [](double t) {
+    const double e = std::exp(10.0 * t - 12.0);
+    return e / (1.0 + e);
+  };
+  for (const double t : {0.0, 0.5, 1.0, 1.2, 1.5, 2.0}) {
+    EXPECT_NEAR(driver::brake_ramp(t), expected(t), 1e-12) << "t=" << t;
+  }
+  EXPECT_NEAR(driver::brake_ramp(0.0), 0.0, 1e-5);   // nearly zero at start
+  EXPECT_NEAR(driver::brake_ramp(1.2), 0.5, 1e-9);   // midpoint at 1.2 s
+  EXPECT_NEAR(driver::brake_ramp(1.5), 0.953, 1e-3); // near full by 1.5 s
+  EXPECT_DOUBLE_EQ(driver::brake_ramp(100.0), 1.0);  // saturates, no overflow
+}
+
+driver::DriverObservation nominal_obs() {
+  driver::DriverObservation obs;
+  obs.speed = 26.82;
+  obs.cruise_speed = 26.82;
+  obs.accel_cmd = 0.0;
+  obs.steer_cmd = 0.0;
+  obs.nominal_steer = 0.0;
+  return obs;
+}
+
+TEST(Driver, StaysPassiveWhenNominal) {
+  driver::DriverModel driver(driver::DriverConfig{}, 2.7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_FALSE(driver.step(nominal_obs(), i * 0.01, 0.01).has_value());
+  }
+  EXPECT_EQ(driver.phase(), driver::DriverPhase::kMonitoring);
+  EXPECT_LT(driver.perception_time(), 0.0);
+}
+
+TEST(Driver, ReactionDelayIs2point5Seconds) {
+  driver::DriverModel driver(driver::DriverConfig{}, 2.7);
+  auto obs = nominal_obs();
+  obs.accel_cmd = 2.4;  // above the 2.0 limit -> anomalous at one step
+  driver.step(obs, 10.0, 0.01);
+  EXPECT_EQ(driver.phase(), driver::DriverPhase::kReacting);
+  EXPECT_DOUBLE_EQ(driver.perception_time(), 10.0);
+  // No action until 2.5 s have elapsed.
+  EXPECT_FALSE(driver.step(obs, 12.49, 0.01).has_value());
+  EXPECT_TRUE(driver.step(obs, 12.51, 0.01).has_value());
+  EXPECT_NEAR(driver.engage_time(), 12.51, 1e-9);
+}
+
+TEST(Driver, ThresholdsAreStrict) {
+  // Values exactly AT the limits are not anomalous — this is what lets the
+  // strategic corruption evade the driver.
+  driver::DriverModel driver(driver::DriverConfig{}, 2.7);
+  auto obs = nominal_obs();
+  obs.accel_cmd = 2.0;    // == limit
+  driver.step(obs, 1.0, 0.01);
+  obs.accel_cmd = -3.5;   // == brake limit
+  driver.step(obs, 1.01, 0.01);
+  obs.accel_cmd = 0.0;
+  obs.speed = 1.1 * 26.82;  // == overspeed bound
+  driver.step(obs, 1.02, 0.01);
+  EXPECT_EQ(driver.phase(), driver::DriverPhase::kMonitoring);
+}
+
+TEST(Driver, NoticesEachAnomalyKind) {
+  using driver::AnomalyKind;
+  struct Case {
+    void (*mutate)(driver::DriverObservation&);
+    AnomalyKind expected;
+  };
+  const Case cases[] = {
+      {[](driver::DriverObservation& o) { o.adas_alert = true; },
+       AnomalyKind::kAlert},
+      {[](driver::DriverObservation& o) { o.accel_cmd = 2.2; },
+       AnomalyKind::kAcceleration},
+      {[](driver::DriverObservation& o) { o.accel_cmd = -3.8; },
+       AnomalyKind::kBraking},
+      {[](driver::DriverObservation& o) { o.steer_cmd = 0.05; },
+       AnomalyKind::kSteering},
+      {[](driver::DriverObservation& o) { o.speed = 30.0; },
+       AnomalyKind::kOverspeed},
+  };
+  for (const auto& c : cases) {
+    driver::DriverModel driver(driver::DriverConfig{}, 2.7);
+    auto obs = nominal_obs();
+    c.mutate(obs);
+    driver.step(obs, 1.0, 0.01);
+    EXPECT_EQ(driver.perceived_anomaly(), c.expected);
+  }
+}
+
+TEST(Driver, BrakingAnomalyLeadsToRecovery) {
+  // Unintended braking -> take over and restore cruise, not a panic stop.
+  driver::DriverModel driver(driver::DriverConfig{}, 2.7);
+  auto obs = nominal_obs();
+  obs.accel_cmd = -4.0;
+  obs.speed = 15.0;
+  driver.step(obs, 0.0, 0.01);
+  obs.accel_cmd = 0.0;  // attack stops once the driver engages
+  std::optional<vehicle::ActuatorCommand> cmd;
+  for (double t = 0.01; t < 4.0; t += 0.01) cmd = driver.step(obs, t, 0.01);
+  ASSERT_TRUE(cmd.has_value());
+  EXPECT_GT(cmd->accel, 0.5);  // accelerating back toward the set speed
+}
+
+TEST(Driver, SurgeWithImminentLeadPanicStops) {
+  driver::DriverModel driver(driver::DriverConfig{}, 2.7);
+  auto obs = nominal_obs();
+  obs.accel_cmd = 2.4;
+  obs.lead_visible = true;
+  obs.lead_gap = 12.0;        // < 0.8 s headway at 26.8 m/s
+  obs.lead_rel_speed = -8.0;  // closing fast
+  driver.step(obs, 0.0, 0.01);
+  std::optional<vehicle::ActuatorCommand> cmd;
+  for (double t = 0.01; t < 6.0; t += 0.01) cmd = driver.step(obs, t, 0.01);
+  ASSERT_TRUE(cmd.has_value());
+  EXPECT_LT(cmd->accel, -7.0);  // latched full braking
+}
+
+TEST(Driver, SurgeWithoutThreatReleasesBrake) {
+  driver::DriverModel driver(driver::DriverConfig{}, 2.7);
+  auto obs = nominal_obs();
+  obs.accel_cmd = 2.4;  // noticed
+  driver.step(obs, 0.0, 0.01);
+  obs.accel_cmd = 0.0;
+  obs.speed = 25.0;  // below cruise: no overspeed, no lead
+  std::optional<vehicle::ActuatorCommand> cmd;
+  for (double t = 0.01; t < 4.0; t += 0.01) cmd = driver.step(obs, t, 0.01);
+  ASSERT_TRUE(cmd.has_value());
+  EXPECT_GT(cmd->accel, -0.5);  // recovered to normal driving
+}
+
+TEST(Driver, FollowsLeadAfterTakeover) {
+  // The human never drives into a visible lead, whatever the mode.
+  driver::DriverModel driver(driver::DriverConfig{}, 2.7);
+  auto obs = nominal_obs();
+  obs.accel_cmd = -4.0;  // braking anomaly -> recovery mode
+  obs.speed = 20.0;
+  driver.step(obs, 0.0, 0.01);
+  obs.accel_cmd = 0.0;
+  obs.lead_visible = true;
+  obs.lead_gap = 8.0;
+  obs.lead_rel_speed = -6.0;
+  std::optional<vehicle::ActuatorCommand> cmd;
+  for (double t = 0.01; t < 4.0; t += 0.01) cmd = driver.step(obs, t, 0.01);
+  ASSERT_TRUE(cmd.has_value());
+  EXPECT_LT(cmd->accel, -2.0);  // follow law overrides the recovery throttle
+}
+
+TEST(Driver, SteeringCorrectionRecentres) {
+  driver::DriverModel driver(driver::DriverConfig{}, 2.7);
+  auto obs = nominal_obs();
+  obs.adas_alert = true;
+  driver.step(obs, 0.0, 0.01);
+  obs.adas_alert = false;
+  obs.center_offset = -1.5;  // right of centre
+  std::optional<vehicle::ActuatorCommand> cmd;
+  for (double t = 0.01; t < 5.0; t += 0.01) cmd = driver.step(obs, t, 0.01);
+  ASSERT_TRUE(cmd.has_value());
+  EXPECT_GT(cmd->steer_angle, 0.0);  // steering left, back to centre
+}
+
+TEST(Driver, AlertResponseSlowsButDoesNotStop) {
+  driver::DriverModel driver(driver::DriverConfig{}, 2.7);
+  auto obs = nominal_obs();
+  obs.adas_alert = true;
+  driver.step(obs, 0.0, 0.01);
+  obs.adas_alert = false;
+  obs.speed = 26.82;
+  std::optional<vehicle::ActuatorCommand> cmd;
+  for (double t = 0.01; t < 4.0; t += 0.01) cmd = driver.step(obs, t, 0.01);
+  ASSERT_TRUE(cmd.has_value());
+  EXPECT_LT(cmd->accel, 0.0);    // easing off
+  EXPECT_GT(cmd->accel, -3.5);   // but not an emergency stop
+}
+
+}  // namespace

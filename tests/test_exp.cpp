@@ -1,0 +1,177 @@
+// Tests for the experiment layer: thread pool, campaign grid/runner,
+// aggregation, table emitters, parameter-space sweep.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <sstream>
+
+#include "exp/campaign.hpp"
+#include "exp/param_space.hpp"
+#include "exp/tables.hpp"
+
+namespace {
+
+using namespace scaa;
+
+TEST(ThreadPool, RunsAllTasks) {
+  exp::ThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 1000; ++i) pool.submit([&] { ++count; });
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 1000);
+}
+
+TEST(ThreadPool, WaitIdleOnEmptyPoolReturns) {
+  exp::ThreadPool pool(2);
+  pool.wait_idle();  // must not deadlock
+  SUCCEED();
+}
+
+TEST(ThreadPool, ZeroMeansHardwareConcurrency) {
+  exp::ThreadPool pool(0);
+  EXPECT_GE(pool.size(), 1u);
+}
+
+TEST(Campaign, GridShapeMatchesPaper) {
+  const auto grid = exp::make_grid(attack::StrategyKind::kContextAware, true,
+                                   true, 20, 2022);
+  // 6 types x 4 scenarios x 3 gaps x 20 reps = 1,440 (paper Table III).
+  EXPECT_EQ(grid.size(), 1440u);
+  std::set<std::uint64_t> seeds;
+  for (const auto& item : grid) seeds.insert(item.seed);
+  EXPECT_EQ(seeds.size(), grid.size());  // all seeds unique
+}
+
+TEST(Campaign, GridCoversAllCells) {
+  const auto grid =
+      exp::make_grid(attack::StrategyKind::kRandomSt, false, true, 1, 1);
+  EXPECT_EQ(grid.size(), 72u);
+  std::set<std::tuple<int, int, int>> cells;
+  for (const auto& item : grid)
+    cells.insert({static_cast<int>(item.type), item.scenario_id,
+                  static_cast<int>(item.initial_gap)});
+  EXPECT_EQ(cells.size(), 72u);
+}
+
+TEST(Campaign, SameSeedsForDriverOnOff) {
+  // The Table V pairing requires identical seeds across the two campaigns.
+  const auto on = exp::make_grid(attack::StrategyKind::kContextAware, true,
+                                 true, 2, 99);
+  const auto off = exp::make_grid(attack::StrategyKind::kContextAware, true,
+                                  false, 2, 99);
+  ASSERT_EQ(on.size(), off.size());
+  for (std::size_t i = 0; i < on.size(); ++i) {
+    EXPECT_EQ(on[i].seed, off[i].seed);
+    EXPECT_EQ(on[i].type, off[i].type);
+  }
+}
+
+TEST(Campaign, RunnerDeterministicAcrossThreadCounts) {
+  auto grid = exp::make_grid(attack::StrategyKind::kContextAware, true, true,
+                             1, 5);
+  grid.resize(12);  // keep the test fast
+  exp::CampaignConfig one;
+  one.threads = 1;
+  exp::CampaignConfig many;
+  many.threads = 8;
+  const auto a = exp::run_campaign(grid, one);
+  const auto b = exp::run_campaign(grid, many);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].summary.any_hazard, b[i].summary.any_hazard) << i;
+    EXPECT_DOUBLE_EQ(a[i].summary.first_hazard_time,
+                     b[i].summary.first_hazard_time);
+    EXPECT_EQ(a[i].summary.lane_invasions, b[i].summary.lane_invasions);
+  }
+}
+
+TEST(Aggregate, CountsAndFractions) {
+  std::vector<exp::CampaignResult> results(4);
+  results[0].summary.any_hazard = true;
+  results[0].summary.alert_events = 1;
+  results[0].summary.tth = 2.0;
+  results[1].summary.any_hazard = true;
+  results[1].summary.any_accident = true;
+  results[1].summary.tth = 4.0;
+  // results[2], results[3]: clean runs.
+  const auto agg = exp::aggregate(results);
+  EXPECT_EQ(agg.simulations, 4u);
+  EXPECT_EQ(agg.sims_with_hazards, 2u);
+  EXPECT_EQ(agg.sims_with_accidents, 1u);
+  EXPECT_EQ(agg.sims_with_alerts, 1u);
+  EXPECT_EQ(agg.hazards_without_alerts, 1u);  // run 1 had hazard + no alerts
+  EXPECT_DOUBLE_EQ(agg.hazard_fraction(), 0.5);
+  EXPECT_DOUBLE_EQ(agg.accident_fraction(), 0.25);
+  EXPECT_DOUBLE_EQ(agg.tth_mean, 3.0);
+}
+
+TEST(Tables, Table4RendersAllRows) {
+  std::map<attack::StrategyKind, exp::Aggregate> rows;
+  exp::Aggregate a;
+  a.simulations = 1440;
+  a.sims_with_hazards = 1201;
+  rows[attack::StrategyKind::kNone] = a;
+  rows[attack::StrategyKind::kContextAware] = a;
+  const std::string table = exp::render_table4(rows);
+  EXPECT_NE(table.find("No Attacks"), std::string::npos);
+  EXPECT_NE(table.find("Context-Aware"), std::string::npos);
+  EXPECT_NE(table.find("83.4%"), std::string::npos);
+}
+
+TEST(Tables, PairDriverOutcomes) {
+  auto grid = exp::make_grid(attack::StrategyKind::kContextAware, true, true,
+                             1, 7);
+  grid.resize(6);
+  auto off_grid = grid;
+  for (auto& item : off_grid) item.driver_enabled = false;
+  exp::CampaignConfig cc;
+  cc.threads = 4;
+  const auto on = exp::run_campaign(grid, cc);
+  const auto off = exp::run_campaign(off_grid, cc);
+  const auto outcomes = exp::pair_driver_outcomes(on, off);
+  std::size_t total = 0;
+  for (const auto& [type, outcome] : outcomes) total += outcome.agg.simulations;
+  EXPECT_EQ(total, 6u);
+}
+
+TEST(Tables, PairRejectsMismatchedGrids) {
+  std::vector<exp::CampaignResult> a(2), b(3);
+  EXPECT_THROW(exp::pair_driver_outcomes(a, b), std::invalid_argument);
+  b.resize(2);
+  a[0].item.seed = 1;
+  b[0].item.seed = 2;
+  EXPECT_THROW(exp::pair_driver_outcomes(a, b), std::invalid_argument);
+}
+
+TEST(ParamSpace, SmallSweepShapes) {
+  exp::ParamSpaceConfig cfg;
+  cfg.grid_starts = 4;
+  cfg.grid_durations = 3;
+  cfg.overlay_runs = 2;
+  cfg.threads = 8;
+  const auto points = exp::run_param_space(cfg);
+  EXPECT_GE(points.size(), 12u);  // the full grid always plots
+  for (const auto& p : points) {
+    EXPECT_GE(p.start_time, 0.0);
+    EXPECT_GE(p.duration, 0.0);
+  }
+  std::ostringstream out;
+  exp::write_param_space_csv(points, out);
+  EXPECT_NE(out.str().find("strategy,start_time,duration,hazardous"),
+            std::string::npos);
+}
+
+TEST(ParamSpace, CriticalTimeEstimate) {
+  std::vector<exp::ParamSpacePoint> points;
+  points.push_back({attack::StrategyKind::kRandomStDur, 10.0, 1.0, false});
+  points.push_back({attack::StrategyKind::kRandomStDur, 20.0, 1.0, true});
+  points.push_back({attack::StrategyKind::kRandomStDur, 30.0, 1.0, true});
+  EXPECT_DOUBLE_EQ(exp::estimate_critical_time(points), 20.0);
+  points.clear();
+  points.push_back({attack::StrategyKind::kRandomStDur, 10.0, 1.0, false});
+  EXPECT_LT(exp::estimate_critical_time(points), 0.0);
+}
+
+}  // namespace

@@ -1,0 +1,140 @@
+// Unit tests for scaa::geom (vectors, poses, polylines, Frenet frames).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "geom/frenet.hpp"
+#include "geom/polyline.hpp"
+#include "geom/vec2.hpp"
+#include "util/units.hpp"
+
+namespace {
+
+using namespace scaa;
+using geom::Vec2;
+
+constexpr double kPi = units::kPi;
+
+TEST(Vec2, Arithmetic) {
+  const Vec2 a{1.0, 2.0};
+  const Vec2 b{3.0, -1.0};
+  EXPECT_EQ((a + b).x, 4.0);
+  EXPECT_EQ((a + b).y, 1.0);
+  EXPECT_EQ((a - b).x, -2.0);
+  EXPECT_EQ((a * 2.0).y, 4.0);
+  EXPECT_EQ((2.0 * a).y, 4.0);
+}
+
+TEST(Vec2, DotCrossNorm) {
+  const Vec2 a{3.0, 4.0};
+  EXPECT_EQ(a.norm(), 5.0);
+  EXPECT_EQ(a.norm_sq(), 25.0);
+  EXPECT_EQ(a.dot({1.0, 0.0}), 3.0);
+  EXPECT_EQ((Vec2{1.0, 0.0}.cross({0.0, 1.0})), 1.0);   // CCW positive
+  EXPECT_EQ((Vec2{0.0, 1.0}.cross({1.0, 0.0})), -1.0);  // CW negative
+}
+
+TEST(Vec2, NormalizedHandlesZero) {
+  EXPECT_EQ(Vec2{}.normalized().x, 0.0);
+  const Vec2 n = Vec2{10.0, 0.0}.normalized();
+  EXPECT_DOUBLE_EQ(n.x, 1.0);
+}
+
+TEST(Vec2, RotationAndPerp) {
+  const Vec2 r = Vec2{1.0, 0.0}.rotated(kPi / 2.0);
+  EXPECT_NEAR(r.x, 0.0, 1e-12);
+  EXPECT_NEAR(r.y, 1.0, 1e-12);
+  EXPECT_EQ((Vec2{1.0, 0.0}.perp().y), 1.0);  // left normal
+}
+
+TEST(Pose, RoundTripTransforms) {
+  const geom::Pose pose{{5.0, -2.0}, kPi / 3.0};
+  const Vec2 local{1.5, -0.7};
+  const Vec2 world = pose.local_to_world(local);
+  const Vec2 back = pose.world_to_local(world);
+  EXPECT_NEAR(back.x, local.x, 1e-12);
+  EXPECT_NEAR(back.y, local.y, 1e-12);
+}
+
+TEST(Polyline, RejectsDegenerate) {
+  EXPECT_THROW(geom::Polyline({{0, 0}}), std::invalid_argument);
+  EXPECT_THROW(geom::Polyline({{0, 0}, {0, 0}}), std::invalid_argument);
+}
+
+TEST(Polyline, LengthAndSampling) {
+  const geom::Polyline line({{0, 0}, {10, 0}, {10, 10}});
+  EXPECT_DOUBLE_EQ(line.length(), 20.0);
+  EXPECT_NEAR(line.position_at(5.0).x, 5.0, 1e-12);
+  EXPECT_NEAR(line.position_at(15.0).y, 5.0, 1e-12);
+  // Clamping at the ends.
+  EXPECT_NEAR(line.position_at(-3.0).x, 0.0, 1e-12);
+  EXPECT_NEAR(line.position_at(100.0).y, 10.0, 1e-12);
+}
+
+TEST(Polyline, HeadingFollowsSegments) {
+  const geom::Polyline line({{0, 0}, {10, 0}, {10, 10}});
+  EXPECT_NEAR(line.heading_at(5.0), 0.0, 1e-12);
+  EXPECT_NEAR(line.heading_at(15.0), kPi / 2.0, 1e-12);
+}
+
+TEST(Polyline, ProjectionSignedLateral) {
+  const geom::Polyline line({{0, 0}, {100, 0}});
+  const auto left = line.project({50.0, 2.0});
+  EXPECT_NEAR(left.s, 50.0, 1e-9);
+  EXPECT_NEAR(left.lateral, 2.0, 1e-9);  // +left
+  const auto right = line.project({50.0, -2.0});
+  EXPECT_NEAR(right.lateral, -2.0, 1e-9);
+}
+
+TEST(Polyline, HintedProjectionMatchesFull) {
+  // Build a curved (non-self-overlapping) arc and verify hinted projection
+  // equals the full search.
+  std::vector<Vec2> pts;
+  for (int i = 0; i <= 200; ++i) {
+    const double t = i * 0.0075;  // 1.5 rad of arc
+    pts.push_back({100.0 * std::sin(t), 100.0 * (1.0 - std::cos(t))});
+  }
+  const geom::Polyline line(pts);
+  double hint = -1.0;
+  for (double s = 5.0; s < line.length() - 5.0; s += 7.0) {
+    const Vec2 p = line.position_at(s) + Vec2{0.1, 0.2};
+    const auto full = line.project(p, -1.0);
+    const auto hinted = line.project(p, hint);
+    EXPECT_NEAR(full.s, hinted.s, 1e-6);
+    EXPECT_NEAR(full.lateral, hinted.lateral, 1e-9);
+    hint = hinted.s;
+  }
+}
+
+TEST(Frenet, RoundTrip) {
+  const geom::Polyline line({{0, 0}, {50, 0}, {100, 30}});
+  geom::FrenetFrame frame(line);
+  const geom::FrenetPoint f{40.0, 1.5};
+  const Vec2 world = frame.to_world(f);
+  const auto back = frame.to_frenet(world);
+  EXPECT_NEAR(back.s, f.s, 1e-6);
+  EXPECT_NEAR(back.d, f.d, 1e-6);
+}
+
+TEST(Frenet, CurvatureOfArc) {
+  // Sample a circle of radius 200 -> curvature 1/200 (left turn).
+  std::vector<Vec2> pts;
+  const double radius = 200.0;
+  for (int i = 0; i <= 400; ++i) {
+    const double a = i * 0.005;
+    pts.push_back({radius * std::sin(a), radius * (1.0 - std::cos(a))});
+  }
+  const geom::Polyline line(pts);
+  geom::FrenetFrame frame(line);
+  EXPECT_NEAR(frame.curvature_at(0.5 * line.length(), 5.0), 1.0 / radius,
+              1e-4);
+}
+
+TEST(Frenet, StraightLineZeroCurvature) {
+  const geom::Polyline line({{0, 0}, {1000, 0}});
+  geom::FrenetFrame frame(line);
+  EXPECT_NEAR(frame.curvature_at(500.0), 0.0, 1e-12);
+}
+
+}  // namespace

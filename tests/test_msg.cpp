@@ -1,0 +1,202 @@
+// Unit tests for scaa::msg (codec, schema round-trips, pub/sub semantics).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "msg/bus.hpp"
+
+namespace {
+
+using namespace scaa;
+
+TEST(Codec, PrimitivesRoundTrip) {
+  msg::Encoder e;
+  e.put_u16(0xBEEF);
+  e.put_u32(0xDEADBEEF);
+  e.put_u64(0x0123456789ABCDEFull);
+  e.put_f64(-273.15);
+  e.put_bool(true);
+  e.put_bool(false);
+
+  msg::Decoder d(e.bytes());
+  EXPECT_EQ(d.get_u16(), 0xBEEF);
+  EXPECT_EQ(d.get_u32(), 0xDEADBEEFu);
+  EXPECT_EQ(d.get_u64(), 0x0123456789ABCDEFull);
+  EXPECT_DOUBLE_EQ(d.get_f64(), -273.15);
+  EXPECT_TRUE(d.get_bool());
+  EXPECT_FALSE(d.get_bool());
+  EXPECT_EQ(d.remaining(), 0u);
+}
+
+TEST(Codec, TruncationThrows) {
+  msg::Encoder e;
+  e.put_u16(7);
+  msg::Decoder d(e.bytes());
+  EXPECT_THROW(d.get_u64(), std::out_of_range);
+}
+
+TEST(Codec, SpecialDoubles) {
+  msg::Encoder e;
+  e.put_f64(std::numeric_limits<double>::infinity());
+  e.put_f64(0.0);
+  e.put_f64(-0.0);
+  msg::Decoder d(e.bytes());
+  EXPECT_TRUE(std::isinf(d.get_f64()));
+  EXPECT_EQ(d.get_f64(), 0.0);
+  EXPECT_EQ(d.get_f64(), 0.0);
+}
+
+template <typename M>
+M round_trip(const M& m) {
+  M out{};
+  msg::deserialize(msg::serialize(m), out);
+  return out;
+}
+
+TEST(Schema, GpsRoundTrip) {
+  msg::GpsLocationExternal m;
+  m.mono_time = 42;
+  m.latitude = 38.03;
+  m.longitude = -78.51;
+  m.speed = 26.82;
+  m.bearing = 0.7;
+  m.has_fix = true;
+  const auto r = round_trip(m);
+  EXPECT_EQ(r.mono_time, 42u);
+  EXPECT_DOUBLE_EQ(r.speed, 26.82);
+  EXPECT_TRUE(r.has_fix);
+}
+
+TEST(Schema, ModelV2RoundTrip) {
+  msg::ModelV2 m;
+  m.left_lane_line = 1.82;
+  m.right_lane_line = -1.88;
+  m.left_line_prob = 0.97;
+  m.right_line_prob = 0.95;
+  m.path_curvature = 8.3e-4;
+  m.path_heading_error = -0.002;
+  const auto r = round_trip(m);
+  EXPECT_DOUBLE_EQ(r.left_lane_line, 1.82);
+  EXPECT_DOUBLE_EQ(r.path_heading_error, -0.002);
+}
+
+TEST(Schema, RadarStateRoundTrip) {
+  msg::RadarState m;
+  m.lead_valid = true;
+  m.lead_distance = 63.4;
+  m.lead_rel_speed = -11.2;
+  m.lead_speed = 15.6;
+  const auto r = round_trip(m);
+  EXPECT_TRUE(r.lead_valid);
+  EXPECT_DOUBLE_EQ(r.lead_rel_speed, -11.2);
+}
+
+TEST(Schema, CarControlRoundTrip) {
+  msg::CarControl m;
+  m.enabled = true;
+  m.accel = -3.5;
+  m.steer_angle = 0.0044;
+  const auto r = round_trip(m);
+  EXPECT_DOUBLE_EQ(r.accel, -3.5);
+  EXPECT_DOUBLE_EQ(r.steer_angle, 0.0044);
+}
+
+TEST(Schema, ControlsStateRoundTrip) {
+  msg::ControlsState m;
+  m.active = true;
+  m.steer_saturated = true;
+  m.fcw = false;
+  m.alert_count = 3;
+  const auto r = round_trip(m);
+  EXPECT_TRUE(r.steer_saturated);
+  EXPECT_EQ(r.alert_count, 3u);
+}
+
+TEST(Bus, PublishDeliversToSubscriber) {
+  msg::PubSubBus bus;
+  int calls = 0;
+  bus.subscribe<msg::RadarState>([&](const msg::RadarState& m) {
+    ++calls;
+    EXPECT_DOUBLE_EQ(m.lead_distance, 50.0);
+  });
+  msg::RadarState m;
+  m.lead_valid = true;
+  m.lead_distance = 50.0;
+  bus.publish(m);
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(Bus, NoAuthenticationAnyoneCanSubscribe) {
+  // The eavesdropping property: N independent subscribers all get the data.
+  msg::PubSubBus bus;
+  int a = 0, b = 0, c = 0;
+  bus.subscribe<msg::GpsLocationExternal>([&](const auto&) { ++a; });
+  bus.subscribe<msg::GpsLocationExternal>([&](const auto&) { ++b; });
+  bus.subscribe_raw(msg::Topic::kGpsLocationExternal,
+                    [&](const msg::WireFrame&) { ++c; });
+  bus.publish(msg::GpsLocationExternal{});
+  EXPECT_EQ(a, 1);
+  EXPECT_EQ(b, 1);
+  EXPECT_EQ(c, 1);
+}
+
+TEST(Bus, SequenceNumbersPerTopic) {
+  msg::PubSubBus bus;
+  std::uint64_t last_seq = 0;
+  bus.subscribe_raw(msg::Topic::kCarState, [&](const msg::WireFrame& f) {
+    EXPECT_EQ(f.sequence, last_seq + 1);  // gapless
+    last_seq = f.sequence;
+  });
+  for (int i = 0; i < 10; ++i) bus.publish(msg::CarState{});
+  EXPECT_EQ(last_seq, 10u);
+  EXPECT_EQ(bus.published_count(msg::Topic::kCarState), 10u);
+  EXPECT_EQ(bus.published_count(msg::Topic::kModelV2), 0u);
+}
+
+TEST(Bus, UnsubscribeStopsDelivery) {
+  msg::PubSubBus bus;
+  int calls = 0;
+  const auto id =
+      bus.subscribe<msg::CarState>([&](const auto&) { ++calls; });
+  bus.publish(msg::CarState{});
+  bus.unsubscribe(id);
+  bus.publish(msg::CarState{});
+  EXPECT_EQ(calls, 1);
+  bus.unsubscribe(id);  // idempotent
+}
+
+TEST(Bus, SubscribeDuringDispatchIsSafe) {
+  msg::PubSubBus bus;
+  int late_calls = 0;
+  bus.subscribe<msg::CarState>([&](const auto&) {
+    bus.subscribe<msg::CarState>([&](const auto&) { ++late_calls; });
+  });
+  bus.publish(msg::CarState{});  // must not invalidate iteration
+  bus.publish(msg::CarState{});
+  EXPECT_GE(late_calls, 1);
+}
+
+TEST(Bus, LatestLatch) {
+  msg::PubSubBus bus;
+  msg::Latest<msg::RadarState> latest(bus);
+  EXPECT_FALSE(latest.valid());
+  msg::RadarState m;
+  m.lead_distance = 12.0;
+  bus.publish(m);
+  m.lead_distance = 34.0;
+  bus.publish(m);
+  EXPECT_TRUE(latest.valid());
+  EXPECT_EQ(latest.updates(), 2u);
+  EXPECT_DOUBLE_EQ(latest.value().lead_distance, 34.0);
+}
+
+TEST(Bus, TopicNames) {
+  EXPECT_EQ(msg::topic_name(msg::Topic::kGpsLocationExternal),
+            "gpsLocationExternal");
+  EXPECT_EQ(msg::topic_name(msg::Topic::kModelV2), "modelV2");
+  EXPECT_EQ(msg::topic_name(msg::Topic::kRadarState), "radarState");
+}
+
+}  // namespace

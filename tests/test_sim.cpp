@@ -1,0 +1,254 @@
+// Integration tests: the full closed-loop world, hazard/accident detection,
+// determinism, and end-to-end attack behaviour.
+
+#include <gtest/gtest.h>
+
+#include "exp/campaign.hpp"
+#include "sim/world.hpp"
+#include "util/stats.hpp"
+
+namespace {
+
+using namespace scaa;
+
+exp::CampaignItem item_for(attack::StrategyKind strategy,
+                           attack::AttackType type, bool strategic,
+                           int scenario, double gap, std::uint64_t seed,
+                           bool driver = true) {
+  exp::CampaignItem item;
+  item.strategy = strategy;
+  item.type = type;
+  item.strategic_values = strategic;
+  item.driver_enabled = driver;
+  item.scenario_id = scenario;
+  item.initial_gap = gap;
+  item.seed = seed;
+  return item;
+}
+
+TEST(Scenario, CatalogueMatchesPaper) {
+  const auto s1 = sim::Scenario::make(1, 100.0);
+  EXPECT_NEAR(s1.lead.initial_speed, units::mph_to_ms(35.0), 1e-9);
+  EXPECT_NEAR(s1.lead.target_speed, units::mph_to_ms(35.0), 1e-9);
+  const auto s3 = sim::Scenario::make(3, 70.0);
+  EXPECT_NEAR(s3.lead.initial_speed, units::mph_to_ms(50.0), 1e-9);
+  EXPECT_NEAR(s3.lead.target_speed, units::mph_to_ms(35.0), 1e-9);
+  const auto s4 = sim::Scenario::make(4, 50.0);
+  EXPECT_LT(s4.lead.initial_speed, s4.lead.target_speed);
+  EXPECT_EQ(s4.name(), "S4");
+  EXPECT_THROW(sim::Scenario::make(5, 50.0), std::invalid_argument);
+  EXPECT_NEAR(s1.ego_speed, units::mph_to_ms(60.0), 1e-9);
+}
+
+TEST(World, BaselineRunsFiftySecondsCleanly) {
+  sim::World world(exp::world_config_for(
+      item_for(attack::StrategyKind::kNone, attack::AttackType::kAcceleration,
+               false, 1, 100.0, 42)));
+  const auto s = world.run();
+  EXPECT_NEAR(s.sim_end_time, 50.0, 0.011);
+  EXPECT_FALSE(s.any_hazard);
+  EXPECT_FALSE(s.any_accident);
+  EXPECT_FALSE(s.driver_engaged);
+  EXPECT_EQ(s.fcw_events, 0u);
+  EXPECT_EQ(s.can_checksum_rejects, 0u);
+}
+
+TEST(World, DeterministicAcrossRuns) {
+  const auto item = item_for(attack::StrategyKind::kContextAware,
+                             attack::AttackType::kSteeringRight, true, 1,
+                             70.0, 77);
+  sim::World a(exp::world_config_for(item));
+  sim::World b(exp::world_config_for(item));
+  const auto sa = a.run();
+  const auto sb = b.run();
+  EXPECT_EQ(sa.any_hazard, sb.any_hazard);
+  EXPECT_DOUBLE_EQ(sa.first_hazard_time, sb.first_hazard_time);
+  EXPECT_DOUBLE_EQ(sa.attack_start, sb.attack_start);
+  EXPECT_EQ(sa.lane_invasions, sb.lane_invasions);
+  EXPECT_DOUBLE_EQ(sa.sim_end_time, sb.sim_end_time);
+}
+
+TEST(World, SeedsChangeOutcomeDetails) {
+  const auto a = sim::World(exp::world_config_for(
+                                item_for(attack::StrategyKind::kNone,
+                                         attack::AttackType::kAcceleration,
+                                         false, 1, 100.0, 1)))
+                     .run();
+  const auto b = sim::World(exp::world_config_for(
+                                item_for(attack::StrategyKind::kNone,
+                                         attack::AttackType::kAcceleration,
+                                         false, 1, 100.0, 2)))
+                     .run();
+  // Different noise realizations -> different invasion counts (with very
+  // high probability; seeds chosen to differ here).
+  EXPECT_NE(a.lane_invasions * 1000 + a.alert_events,
+            b.lane_invasions * 1000 + b.alert_events);
+}
+
+TEST(World, AccelerationAttackCausesH1WithoutDriver) {
+  sim::World world(exp::world_config_for(
+      item_for(attack::StrategyKind::kContextAware,
+               attack::AttackType::kAcceleration, true, 1, 100.0, 7,
+               /*driver=*/false)));
+  const auto s = world.run();
+  EXPECT_TRUE(s.attack_activated);
+  EXPECT_TRUE(s.hazard_h1);
+  EXPECT_TRUE(s.any_accident);
+  EXPECT_GT(s.tth, 0.0);
+  EXPECT_GT(s.frames_corrupted, 0u);
+}
+
+TEST(World, DecelerationAttackCausesH2NoCollision) {
+  sim::World world(exp::world_config_for(
+      item_for(attack::StrategyKind::kContextAware,
+               attack::AttackType::kDeceleration, true, 1, 100.0, 7)));
+  const auto s = world.run();
+  EXPECT_TRUE(s.attack_activated);
+  EXPECT_TRUE(s.hazard_h2);
+  EXPECT_FALSE(s.accident_a1);  // slowing down, not colliding with the lead
+}
+
+TEST(World, SteeringAttackFasterThanDriver) {
+  // Observation 5: steering TTH < 2.5 s reaction time -> not preventable.
+  int hazards = 0;
+  util::RunningStats tth;
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    sim::World world(exp::world_config_for(
+        item_for(attack::StrategyKind::kContextAware,
+                 attack::AttackType::kSteeringRight, true, 1, 100.0, seed)));
+    const auto s = world.run();
+    if (s.hazard_h3) {
+      ++hazards;
+      tth.add(s.tth);
+    }
+  }
+  EXPECT_GE(hazards, 5);  // right-edge context fires in most runs
+  EXPECT_LT(tth.mean(), 2.5);
+}
+
+TEST(World, FixedValuesNoticedStrategicNot) {
+  // The same Deceleration attack: fixed values wake the driver, strategic
+  // values do not (Observation 6).
+  sim::World fixed(exp::world_config_for(
+      item_for(attack::StrategyKind::kContextAware,
+               attack::AttackType::kDeceleration, false, 1, 100.0, 11)));
+  const auto sf = fixed.run();
+  EXPECT_TRUE(sf.driver_engaged);
+
+  sim::World strategic(exp::world_config_for(
+      item_for(attack::StrategyKind::kContextAware,
+               attack::AttackType::kDeceleration, true, 1, 100.0, 11)));
+  const auto ss = strategic.run();
+  EXPECT_FALSE(ss.driver_engaged);
+  EXPECT_TRUE(ss.hazard_h2);
+}
+
+TEST(World, AttackStopsWhenDriverEngages) {
+  sim::World world(exp::world_config_for(
+      item_for(attack::StrategyKind::kContextAware,
+               attack::AttackType::kAcceleration, false, 1, 100.0, 13)));
+  std::uint64_t corrupted_at_engage = 0;
+  bool captured = false;
+  while (world.step()) {
+    if (!captured && world.driver_model().engaged()) {
+      corrupted_at_engage = world.attack_engine()->stats().frames_corrupted;
+      captured = true;
+    }
+  }
+  ASSERT_TRUE(captured);
+  // A handful of frames may still be in flight the same cycle, nothing more.
+  EXPECT_LE(world.attack_engine()->stats().frames_corrupted,
+            corrupted_at_engage + 2);
+}
+
+TEST(World, FcwNeverFiresDuringAttacks) {
+  // Observation 2, checked across types and seeds.
+  for (const auto type : attack::kAllAttackTypes) {
+    for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+      sim::World world(exp::world_config_for(item_for(
+          attack::StrategyKind::kContextAware, type, true, 2, 70.0, seed)));
+      EXPECT_EQ(world.run().fcw_events, 0u) << to_string(type);
+    }
+  }
+}
+
+TEST(World, TthConsistency) {
+  // Whenever both an attack and a hazard happened, TTH = hazard - start >= 0.
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    sim::World world(exp::world_config_for(
+        item_for(attack::StrategyKind::kRandomSt,
+                 attack::AttackType::kSteeringRight, false, 1, 70.0, seed)));
+    const auto s = world.run();
+    if (s.any_hazard && s.attack_activated && s.tth >= 0.0) {
+      EXPECT_NEAR(s.tth, s.first_hazard_time - s.attack_start, 1e-9);
+    }
+  }
+}
+
+TEST(World, PandaEnforcementBlocksFixedLongitudinal) {
+  // With the firmware checks enforced, fixed-value (out-of-envelope)
+  // longitudinal corruption is dropped at the bus.
+  auto cfg = exp::world_config_for(
+      item_for(attack::StrategyKind::kContextAware,
+               attack::AttackType::kDeceleration, false, 1, 100.0, 9));
+  cfg.panda_enforced = true;
+  sim::World world(std::move(cfg));
+  const auto s = world.run();
+  EXPECT_GT(s.panda_frames_blocked, 0u);
+  // The -4 m/s^2 frames never reach the actuators; the gateway holds the
+  // last accepted command instead (which may still slow the car — blocking
+  // without a fail-safe has its own cost — but cannot crash it).
+  EXPECT_FALSE(s.any_accident);
+}
+
+TEST(World, PandaEnforcementPassesStrategic) {
+  auto cfg = exp::world_config_for(
+      item_for(attack::StrategyKind::kContextAware,
+               attack::AttackType::kDeceleration, true, 1, 100.0, 9));
+  cfg.panda_enforced = true;
+  sim::World world(std::move(cfg));
+  const auto s = world.run();
+  // Strategic values sit inside the envelope: the attack still works.
+  EXPECT_TRUE(s.hazard_h2);
+}
+
+TEST(World, TraceRecordsFullRun) {
+  sim::World world(exp::world_config_for(
+      item_for(attack::StrategyKind::kNone, attack::AttackType::kAcceleration,
+               false, 1, 100.0, 5)));
+  sim::Trace trace;
+  world.run(&trace);
+  EXPECT_NEAR(static_cast<double>(trace.size()), 5000.0, 2.0);
+  EXPECT_NEAR(trace.rows().back().time, 50.0, 0.02);
+  // Lane geometry columns are constant and sane.
+  EXPECT_DOUBLE_EQ(trace.rows().front().lane_center, -1.85);
+  EXPECT_DOUBLE_EQ(trace.rows().front().lane_left, 0.0);
+  EXPECT_DOUBLE_EQ(trace.rows().front().lane_right, -3.7);
+}
+
+TEST(Monitor, H1AndA1Ordering) {
+  // A1 (collision) implies H1 (distance violation) happened at or before.
+  sim::World world(exp::world_config_for(
+      item_for(attack::StrategyKind::kContextAware,
+               attack::AttackType::kAcceleration, true, 1, 50.0, 3,
+               /*driver=*/false)));
+  const auto s = world.run();
+  if (s.accident_a1) {
+    EXPECT_TRUE(s.hazard_h1);
+    EXPECT_LE(s.hazard_h1_time, s.first_accident_time + 1e-9);
+  }
+}
+
+TEST(Monitor, LaneInvasionsHappenWithoutAttacks) {
+  // Observation 1: nonzero invasion rate with zero hazards.
+  std::uint64_t invasions = 0;
+  for (std::uint64_t seed = 20; seed < 26; ++seed) {
+    sim::World world(exp::world_config_for(
+        item_for(attack::StrategyKind::kNone,
+                 attack::AttackType::kAcceleration, false, 2, 70.0, seed)));
+    invasions += world.run().lane_invasions;
+  }
+  EXPECT_GT(invasions, 0u);
+}
+
+}  // namespace
