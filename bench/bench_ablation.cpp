@@ -9,9 +9,8 @@
 // Usage: bench_ablation [--reps N] [--threads N]
 
 #include <cstdio>
-#include <cstdlib>
-#include <cstring>
 
+#include "cli/args.hpp"
 #include "exp/campaign.hpp"
 #include "util/table.hpp"
 
@@ -42,14 +41,17 @@ exp::Aggregate run_config(attack::StrategyKind kind, bool strategic, int reps,
 }  // namespace
 
 int main(int argc, char** argv) {
-  int reps = 10;
-  std::size_t threads = 0;
-  for (int i = 1; i < argc - 1; ++i) {
-    if (std::strcmp(argv[i], "--reps") == 0) reps = std::atoi(argv[i + 1]);
-    if (std::strcmp(argv[i], "--threads") == 0)
-      threads = static_cast<std::size_t>(std::atoi(argv[i + 1]));
-  }
-  if (reps < 1) reps = 1;
+  cli::ArgParser args("bench_ablation",
+                      "Ablation study: which ingredient of the Context-Aware "
+                      "attack matters?");
+  args.add_int("--reps", 10, "repetitions per (type, scenario, gap) cell", 1,
+               1000000);
+  args.add_int("--threads", 0, "worker threads (0 = hardware concurrency)", 0,
+               4096);
+  if (const int code = args.parse_or_exit_code(argc, argv); code >= 0)
+    return code;
+  const int reps = static_cast<int>(args.get_int("--reps"));
+  const auto threads = static_cast<std::size_t>(args.get_int("--threads"));
 
   std::printf("ABLATION 1: which ingredient of the Context-Aware attack "
               "matters?\n\n");

@@ -7,10 +7,9 @@
 // Usage: bench_defense [--reps N] [--threads N]
 
 #include <cstdio>
-#include <cstdlib>
-#include <cstring>
 #include <mutex>
 
+#include "cli/args.hpp"
 #include "defense/harness.hpp"
 #include "exp/campaign.hpp"
 #include "exp/thread_pool.hpp"
@@ -92,14 +91,17 @@ std::size_t count_false_positives(int reps, std::size_t threads) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  int reps = 3;
-  std::size_t threads = 0;
-  for (int i = 1; i < argc - 1; ++i) {
-    if (std::strcmp(argv[i], "--reps") == 0) reps = std::atoi(argv[i + 1]);
-    if (std::strcmp(argv[i], "--threads") == 0)
-      threads = static_cast<std::size_t>(std::atoi(argv[i + 1]));
-  }
-  if (reps < 1) reps = 1;
+  cli::ArgParser args("bench_defense",
+                      "Defense evaluation: control-invariant detector + "
+                      "context-aware monitor vs. the paper's attacks");
+  args.add_int("--reps", 3, "repetitions per (type, scenario, gap) cell", 1,
+               1000000);
+  args.add_int("--threads", 0, "worker threads (0 = hardware concurrency)", 0,
+               4096);
+  if (const int code = args.parse_or_exit_code(argc, argv); code >= 0)
+    return code;
+  const int reps = static_cast<int>(args.get_int("--reps"));
+  const auto threads = static_cast<std::size_t>(args.get_int("--threads"));
 
   std::printf("DEFENSE EVALUATION: control-invariant detector + "
               "context-aware monitor vs. the paper's attacks\n\n");

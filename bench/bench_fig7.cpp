@@ -6,24 +6,25 @@
 // Usage: bench_fig7 [--seed N] [--csv PATH]
 
 #include <cstdio>
-#include <cstdlib>
-#include <cstring>
 #include <fstream>
 #include <string>
 
+#include "cli/args.hpp"
 #include "exp/campaign.hpp"
 #include "sim/world.hpp"
 
 using namespace scaa;
 
 int main(int argc, char** argv) {
-  std::uint64_t seed = 7;
-  std::string csv_path = "fig7_trajectory.csv";
-  for (int i = 1; i < argc - 1; ++i) {
-    if (std::strcmp(argv[i], "--seed") == 0)
-      seed = static_cast<std::uint64_t>(std::atoll(argv[i + 1]));
-    if (std::strcmp(argv[i], "--csv") == 0) csv_path = argv[i + 1];
-  }
+  cli::ArgParser args("bench_fig7",
+                      "Reproduce paper Fig. 7: attack-free Ego trajectory "
+                      "with imperfect lane centering");
+  args.add_uint("--seed", 7, "simulation seed");
+  args.add_string("--csv", "fig7_trajectory.csv", "trace output path");
+  if (const int code = args.parse_or_exit_code(argc, argv); code >= 0)
+    return code;
+  const std::uint64_t seed = args.get_uint("--seed");
+  const std::string& csv_path = args.get_string("--csv");
 
   exp::CampaignItem item;
   item.strategy = attack::StrategyKind::kNone;

@@ -4,26 +4,32 @@
 // window, a minimum duration is needed, and every Context-Aware point is
 // hazardous and inside the window.
 //
-// Usage: bench_fig8 [--csv PATH] [--threads N]
+// Usage: bench_fig8 [--reps N] [--threads N] [--csv PATH]
 
 #include <cstdio>
-#include <cstdlib>
-#include <cstring>
 #include <fstream>
 #include <string>
 
+#include "cli/args.hpp"
 #include "exp/param_space.hpp"
 
 using namespace scaa;
 
 int main(int argc, char** argv) {
-  std::string csv_path = "fig8_param_space.csv";
+  cli::ArgParser args("bench_fig8",
+                      "Reproduce paper Fig. 8: attack start time x duration "
+                      "parameter space");
+  args.add_int("--reps", 1, "overlay-run multiplier (paper: 20 runs x reps)",
+               1, 1000000);
+  args.add_int("--threads", 0, "worker threads (0 = hardware concurrency)", 0,
+               4096);
+  args.add_string("--csv", "fig8_param_space.csv", "scatter output path");
+  if (const int code = args.parse_or_exit_code(argc, argv); code >= 0)
+    return code;
+  const std::string& csv_path = args.get_string("--csv");
   exp::ParamSpaceConfig cfg;
-  for (int i = 1; i < argc - 1; ++i) {
-    if (std::strcmp(argv[i], "--csv") == 0) csv_path = argv[i + 1];
-    if (std::strcmp(argv[i], "--threads") == 0)
-      cfg.threads = static_cast<std::size_t>(std::atoi(argv[i + 1]));
-  }
+  cfg.threads = static_cast<std::size_t>(args.get_int("--threads"));
+  cfg.overlay_runs = 20 * static_cast<int>(args.get_int("--reps"));
 
   const auto points = exp::run_param_space(cfg);
   {

@@ -8,44 +8,34 @@
 //   (paper: 20 -> 1,440 sims per strategy; Random-ST+DUR uses 10x).
 
 #include <cstdio>
-#include <cstdlib>
-#include <cstring>
 #include <map>
 
+#include "cli/args.hpp"
+#include "cli/campaigns.hpp"
 #include "exp/campaign.hpp"
 #include "exp/tables.hpp"
 
 using namespace scaa;
 
 int main(int argc, char** argv) {
-  int reps = 20;
-  std::size_t threads = 0;
-  for (int i = 1; i < argc - 1; ++i) {
-    if (std::strcmp(argv[i], "--reps") == 0) reps = std::atoi(argv[i + 1]);
-    if (std::strcmp(argv[i], "--threads") == 0)
-      threads = static_cast<std::size_t>(std::atoi(argv[i + 1]));
-  }
-  if (reps < 1) reps = 1;
+  cli::ArgParser args("bench_table4",
+                      "Reproduce paper Table IV: attack-strategy comparison "
+                      "with an alert driver");
+  args.add_int("--reps", 20, "repetitions per (type, scenario, gap) cell", 1,
+               1000000);
+  args.add_int("--threads", 0, "worker threads (0 = hardware concurrency)", 0,
+               4096);
+  if (const int code = args.parse_or_exit_code(argc, argv); code >= 0)
+    return code;
+  const int reps = static_cast<int>(args.get_int("--reps"));
+  const auto threads = static_cast<std::size_t>(args.get_int("--threads"));
 
   exp::CampaignConfig cc;
   cc.threads = threads;
 
-  struct Row {
-    attack::StrategyKind kind;
-    bool strategic;  // Context-Aware corrupts strategically; others fixed
-    int rep_multiplier;
-  };
-  const Row rows[] = {
-      {attack::StrategyKind::kNone, false, 1},
-      {attack::StrategyKind::kRandomStDur, false, 10},  // paper: 14,400 sims
-      {attack::StrategyKind::kRandomSt, false, 1},
-      {attack::StrategyKind::kRandomDur, false, 1},
-      {attack::StrategyKind::kContextAware, true, 1},
-  };
-
   std::map<attack::StrategyKind, exp::Aggregate> per_strategy;
   std::uint64_t fcw_total = 0;
-  for (const Row& row : rows) {
+  for (const cli::Table4Strategy& row : cli::table4_strategies()) {
     const auto grid =
         exp::make_grid(row.kind, row.strategic, /*driver=*/true,
                        reps * row.rep_multiplier, /*base_seed=*/2022);

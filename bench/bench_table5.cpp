@@ -6,23 +6,25 @@
 // Usage: bench_table5 [--reps N] [--threads N]
 
 #include <cstdio>
-#include <cstdlib>
-#include <cstring>
 
+#include "cli/args.hpp"
 #include "exp/campaign.hpp"
 #include "exp/tables.hpp"
 
 using namespace scaa;
 
 int main(int argc, char** argv) {
-  int reps = 20;
-  std::size_t threads = 0;
-  for (int i = 1; i < argc - 1; ++i) {
-    if (std::strcmp(argv[i], "--reps") == 0) reps = std::atoi(argv[i + 1]);
-    if (std::strcmp(argv[i], "--threads") == 0)
-      threads = static_cast<std::size_t>(std::atoi(argv[i + 1]));
-  }
-  if (reps < 1) reps = 1;
+  cli::ArgParser args("bench_table5",
+                      "Reproduce paper Table V: Context-Aware attack per "
+                      "type, fixed vs. strategic value corruption");
+  args.add_int("--reps", 20, "repetitions per (type, scenario, gap) cell", 1,
+               1000000);
+  args.add_int("--threads", 0, "worker threads (0 = hardware concurrency)", 0,
+               4096);
+  if (const int code = args.parse_or_exit_code(argc, argv); code >= 0)
+    return code;
+  const int reps = static_cast<int>(args.get_int("--reps"));
+  const auto threads = static_cast<std::size_t>(args.get_int("--threads"));
 
   exp::CampaignConfig cc;
   cc.threads = threads;

@@ -50,10 +50,10 @@ int main() {
     if (match.enabled(UnsafeAction::kDeceleration)) actions += "u2:Decel ";
     if (match.enabled(UnsafeAction::kSteerLeft)) actions += "u3:SteerL ";
     if (match.enabled(UnsafeAction::kSteerRight)) actions += "u4:SteerR ";
-    if (actions.empty()) actions = "-";
     std::printf("%-6.1f %-8.1f %-8.2f %-8.2f %-8.2f %-8.2f %s\n", ctx.time,
                 ctx.speed * 2.23694, ctx.hwt > 1e8 ? -1.0 : ctx.hwt,
-                ctx.rel_speed, ctx.d_left, ctx.d_right, actions.c_str());
+                ctx.rel_speed, ctx.d_left, ctx.d_right,
+                actions.empty() ? "-" : actions.c_str());
   }
 
   std::printf("\neavesdropped frames: gps=%llu modelV2=%llu radarState=%llu "

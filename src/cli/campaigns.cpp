@@ -1,0 +1,252 @@
+#include "cli/campaigns.hpp"
+
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <ostream>
+
+#include "cli/args.hpp"
+#include "exp/campaign.hpp"
+#include "exp/param_space.hpp"
+#include "exp/tables.hpp"
+#include "sim/world.hpp"
+
+namespace scaa::cli {
+
+namespace {
+
+long long ll(std::size_t v) { return static_cast<long long>(v); }
+
+void note(std::ostream* progress, const std::string& line) {
+  if (progress) *progress << line << "\n" << std::flush;
+}
+
+}  // namespace
+
+const std::vector<Table4Strategy>& table4_strategies() {
+  // Paper Table III: Random-ST+DUR uses 10x repetitions (14,400 sims) for
+  // parameter-space coverage; every other strategy runs the base grid.
+  static const std::vector<Table4Strategy> kStrategies = {
+      {attack::StrategyKind::kNone, false, 1},
+      {attack::StrategyKind::kRandomStDur, false, 10},
+      {attack::StrategyKind::kRandomSt, false, 1},
+      {attack::StrategyKind::kRandomDur, false, 1},
+      {attack::StrategyKind::kContextAware, true, 1},
+  };
+  return kStrategies;
+}
+
+Report table4_report(const CampaignOptions& options, std::ostream* progress) {
+  exp::CampaignConfig cc;
+  cc.threads = options.threads;
+
+  Report report("Table IV: attack strategy comparison with an alert driver",
+                {"strategy", "simulations", "sims_with_alerts",
+                 "sims_with_hazards", "sims_with_accidents",
+                 "hazards_without_alerts", "fcw_activations",
+                 "lane_invasion_rate_mean", "tth_mean", "tth_std"});
+  for (const Table4Strategy& row : table4_strategies()) {
+    const auto grid =
+        exp::make_grid(row.kind, row.strategic, /*driver_enabled=*/true,
+                       options.reps * row.rep_multiplier, options.seed);
+    const auto agg = exp::aggregate(exp::run_campaign(grid, cc));
+    report.add_row({to_string(row.kind), ll(agg.simulations),
+                    ll(agg.sims_with_alerts), ll(agg.sims_with_hazards),
+                    ll(agg.sims_with_accidents), ll(agg.hazards_without_alerts),
+                    ll(agg.fcw_activations), agg.lane_invasion_rate_mean,
+                    agg.tth_mean, agg.tth_std});
+    note(progress, "[table4] " + to_string(row.kind) + " done: " +
+                       std::to_string(agg.simulations) + " sims");
+  }
+  return report;
+}
+
+Report table5_report(const CampaignOptions& options, std::ostream* progress) {
+  exp::CampaignConfig cc;
+  cc.threads = options.threads;
+  const auto kind = attack::StrategyKind::kContextAware;
+
+  auto run = [&](bool strategic, bool driver) {
+    const auto grid =
+        exp::make_grid(kind, strategic, driver, options.reps, options.seed);
+    return exp::run_campaign(grid, cc);
+  };
+
+  note(progress, "[table5] fixed values, driver on...");
+  const auto fixed_on = run(false, true);
+  note(progress, "[table5] fixed values, driver off...");
+  const auto fixed_off = run(false, false);
+  note(progress, "[table5] strategic values, driver on...");
+  const auto strat_on = run(true, true);
+  note(progress, "[table5] strategic values, driver off...");
+  const auto strat_off = run(true, false);
+
+  const auto fixed = exp::pair_driver_outcomes(fixed_on, fixed_off);
+  const auto strategic = exp::pair_driver_outcomes(strat_on, strat_off);
+
+  Report report(
+      "Table V: Context-Aware attack per type, fixed vs. strategic values",
+      {"attack_type", "values", "simulations", "sims_with_alerts",
+       "sims_with_hazards", "sims_with_accidents", "prevented_hazards",
+       "new_hazards", "prevented_accidents", "driver_preventions",
+       "nodriver_hazards", "nodriver_accidents", "tth_mean", "tth_std"});
+  const struct {
+    const char* label;
+    const std::map<attack::AttackType, exp::TypeOutcome>& outcomes;
+  } slices[] = {{"fixed", fixed}, {"strategic", strategic}};
+  for (const auto& slice : slices) {
+    for (const auto& [type, o] : slice.outcomes) {
+      report.add_row({to_string(type), std::string(slice.label),
+                      ll(o.agg.simulations), ll(o.agg.sims_with_alerts),
+                      ll(o.agg.sims_with_hazards),
+                      ll(o.agg.sims_with_accidents), ll(o.prevented_hazards),
+                      ll(o.new_hazards), ll(o.prevented_accidents),
+                      ll(o.driver_preventions), ll(o.nodriver_hazards),
+                      ll(o.nodriver_accidents), o.agg.tth_mean,
+                      o.agg.tth_std});
+    }
+  }
+  return report;
+}
+
+Report fig7_report(const CampaignOptions& options, std::ostream* progress) {
+  exp::CampaignItem item;
+  item.strategy = attack::StrategyKind::kNone;
+  item.scenario_id = 1;
+  item.initial_gap = 100.0;
+  item.seed = options.seed;
+
+  sim::World world(exp::world_config_for(item));
+  sim::Trace trace;
+  const auto summary = world.run(&trace);
+  if (options.decimate > 1)
+    trace.decimate(static_cast<std::size_t>(options.decimate));
+
+  Report report(
+      "Fig 7: Ego trajectory during an attack-free simulation (S1)",
+      {"time", "ego_s", "ego_d", "ego_speed", "lane_center", "lane_left",
+       "lane_right", "lead_gap", "accel_cmd", "steer_cmd", "attack_active",
+       "alert_active", "driver_engaged"});
+  for (const auto& r : trace.rows()) {
+    report.add_row({r.time, r.ego_s, r.ego_d, r.ego_speed, r.lane_center,
+                    r.lane_left, r.lane_right, r.lead_gap, r.accel_cmd,
+                    r.steer_cmd, r.attack_active, r.alert_active,
+                    r.driver_engaged});
+  }
+  note(progress,
+       "[fig7] " + std::to_string(trace.size()) + " trace rows; " +
+           std::to_string(summary.lane_invasions) + " lane invasions (" +
+           std::to_string(summary.lane_invasion_rate) + "/s, paper: 0.46/s)");
+  return report;
+}
+
+Report fig8_report(const CampaignOptions& options, std::ostream* progress) {
+  exp::ParamSpaceConfig cfg;
+  cfg.threads = options.threads;
+  cfg.base_seed = options.seed;
+  cfg.overlay_runs = 20 * options.reps;  // paper: 20 runs per overlay strategy
+
+  const auto points = exp::run_param_space(cfg);
+
+  Report report(
+      "Fig 8: attack start time x duration parameter space (Acceleration)",
+      {"strategy", "start_time", "duration", "hazardous"});
+  for (const auto& p : points)
+    report.add_row(
+        {to_string(p.strategy), p.start_time, p.duration, p.hazardous});
+
+  const double critical = exp::estimate_critical_time(points);
+  note(progress, "[fig8] " + std::to_string(points.size()) +
+                     " points; estimated critical start time " +
+                     std::to_string(critical) + " s");
+  return report;
+}
+
+const std::vector<CampaignCommand>& campaign_commands() {
+  static const std::vector<CampaignCommand> kCommands = {
+      {"table4", "Table IV",
+       "attack-strategy comparison with an alert driver", &table4_report},
+      {"table5", "Table V",
+       "Context-Aware attack per type, fixed vs. strategic value corruption",
+       &table5_report},
+      {"fig7", "Fig. 7",
+       "attack-free Ego trajectory (imperfect lane centering)", &fig7_report},
+      {"fig8", "Fig. 8",
+       "attack start time x duration parameter space", &fig8_report},
+  };
+  return kCommands;
+}
+
+const CampaignCommand* find_campaign_command(const std::string& name) {
+  for (const auto& cmd : campaign_commands())
+    if (cmd.name == name) return &cmd;
+  return nullptr;
+}
+
+int run_campaign_command(const std::string& name,
+                         const std::vector<std::string>& tokens,
+                         std::ostream& out, std::ostream& err) {
+  const CampaignCommand* cmd = find_campaign_command(name);
+  if (!cmd) {
+    err << "scaa_campaign: unknown subcommand '" << name << "'\n";
+    return 2;
+  }
+
+  ArgParser args("scaa_campaign " + cmd->name,
+                 cmd->paper_ref + ": " + cmd->description);
+  args.add_int("--reps", 1, "repetitions per grid cell (paper: 20)", 1,
+               1000000);
+  args.add_int("--threads", 0, "worker threads (0 = hardware concurrency)", 0,
+               4096);
+  args.add_uint("--seed", 2022, "base seed mixed into every simulation");
+  args.add_choice("--format", "text", {"text", "csv", "json"},
+                  "output format");
+  args.add_string("--out", "-", "output path ('-' = stdout)");
+  if (cmd->run == &fig7_report)
+    args.add_int("--decimate", 10, "keep every n-th trace row (1 = all)", 1,
+                 1000000);
+
+  try {
+    args.parse_tokens(tokens);
+  } catch (const ArgError& e) {
+    err << e.what() << "\n" << args.usage();
+    return 2;
+  }
+  if (args.help_requested()) {
+    out << args.usage();
+    return 0;
+  }
+
+  CampaignOptions options;
+  options.reps = static_cast<int>(args.get_int("--reps"));
+  options.threads = static_cast<std::size_t>(args.get_int("--threads"));
+  options.seed = args.get_uint("--seed");
+  if (cmd->run == &fig7_report)
+    options.decimate = static_cast<int>(args.get_int("--decimate"));
+  const Format format = parse_format(args.get_string("--format"));
+
+  // Open the sink before running: campaigns can take hours at paper scale,
+  // and an unwritable --out must fail now, not after the simulations.
+  const std::string& out_path = args.get_string("--out");
+  std::ofstream file;
+  if (out_path != "-") {
+    file.open(out_path);
+    if (!file) {
+      err << "scaa_campaign " << cmd->name << ": cannot open '" << out_path
+          << "' for writing\n";
+      return 1;
+    }
+  }
+
+  const Report report = cmd->run(options, &err);
+
+  if (out_path == "-") {
+    report.write(out, format);
+  } else {
+    report.write(file, format);
+    err << "[" << cmd->name << "] report written to " << out_path << "\n";
+  }
+  return 0;
+}
+
+}  // namespace scaa::cli

@@ -1,0 +1,78 @@
+#pragma once
+
+/// @file campaigns.hpp
+/// The paper's campaigns (Table IV, Table V, Fig. 7, Fig. 8) as reusable
+/// functions: each builds the experiment grid via exp::make_grid /
+/// exp::run_param_space, runs it on the exp::ThreadPool, and returns a
+/// cli::Report. scaa_campaign's subcommands and the tests both call these,
+/// so the CLI binary itself is a thin dispatch shell.
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "attack/strategies.hpp"
+#include "cli/report.hpp"
+
+namespace scaa::cli {
+
+/// Knobs common to all campaigns; each subcommand maps its flags here.
+struct CampaignOptions {
+  int reps = 1;             ///< repetitions per grid cell (paper: 20)
+  std::size_t threads = 0;  ///< worker threads (0 = hardware concurrency)
+  std::uint64_t seed = 2022;  ///< base seed mixed into every simulation
+  int decimate = 10;        ///< fig7 only: keep every n-th trace row
+};
+
+/// One Table IV row spec (paper Table III): which strategy, whether it
+/// corrupts values strategically, and its repetition multiplier.
+struct Table4Strategy {
+  attack::StrategyKind kind;
+  bool strategic;  ///< Context-Aware corrupts strategically; others fixed
+  int rep_multiplier;  ///< Random-ST+DUR: 10x reps for space coverage
+};
+
+/// The paper's Table IV strategy grid, in presentation order. Both
+/// scaa_campaign table4 and bench_table4 iterate this single definition so
+/// they can never reproduce different experiments.
+const std::vector<Table4Strategy>& table4_strategies();
+
+/// Table IV: attack-strategy comparison with an alert driver. One row per
+/// strategy. @p progress (may be null) receives per-strategy status lines.
+Report table4_report(const CampaignOptions& options, std::ostream* progress);
+
+/// Table V: Context-Aware attack per attack type, fixed vs. strategic value
+/// corruption, driver-on paired with driver-off runs. One row per
+/// (attack type, corruption mode).
+Report table5_report(const CampaignOptions& options, std::ostream* progress);
+
+/// Fig. 7: the attack-free Ego trajectory (one row per retained trace step).
+Report fig7_report(const CampaignOptions& options, std::ostream* progress);
+
+/// Fig. 8: the (start time x duration) parameter space; one row per point.
+/// @p options.reps scales the overlay runs per strategy (paper: 20).
+Report fig8_report(const CampaignOptions& options, std::ostream* progress);
+
+/// One registered scaa_campaign subcommand.
+struct CampaignCommand {
+  std::string name;         ///< subcommand token, e.g. "table4"
+  std::string paper_ref;    ///< what it reproduces, e.g. "Table IV"
+  std::string description;  ///< one-line help
+  Report (*run)(const CampaignOptions&, std::ostream*);
+};
+
+/// All subcommands, in help/display order.
+const std::vector<CampaignCommand>& campaign_commands();
+
+/// Look up a subcommand by name; nullptr when unknown.
+const CampaignCommand* find_campaign_command(const std::string& name);
+
+/// Parse flags and run one subcommand end to end: report goes to @p out in
+/// the chosen --format, progress/errors go to @p err. Returns the process
+/// exit code (0 ok, 2 usage error).
+int run_campaign_command(const std::string& name,
+                         const std::vector<std::string>& tokens,
+                         std::ostream& out, std::ostream& err);
+
+}  // namespace scaa::cli

@@ -1,0 +1,58 @@
+// scaa_campaign: the unified entry point for the paper's experiment
+// campaigns. Each subcommand rebuilds one artifact of the paper:
+//
+//   scaa_campaign table4 --reps 20 --format csv        (Table IV)
+//   scaa_campaign table5 --reps 20 --format json       (Table V)
+//   scaa_campaign fig7 --seed 7 --format csv           (Fig. 7 trajectory)
+//   scaa_campaign fig8 --threads 8 --format csv        (Fig. 8 state space)
+//
+// The report goes to stdout (or --out PATH); progress lines go to stderr,
+// so `scaa_campaign table4 --format csv > table4.csv` Just Works.
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "cli/campaigns.hpp"
+
+namespace {
+
+void print_usage(std::ostream& out) {
+  out << "Usage: scaa_campaign <subcommand> [flags]\n\n"
+         "Subcommands (paper artifact in parentheses):\n";
+  for (const auto& cmd : scaa::cli::campaign_commands()) {
+    std::string left = "  " + cmd.name;
+    if (left.size() < 12) left += std::string(12 - left.size(), ' ');
+    out << left << "(" << cmd.paper_ref << ") " << cmd.description << "\n";
+  }
+  out << "  list      machine-readable subcommand listing\n"
+         "\nCommon flags: --reps N --threads N --seed N --format "
+         "text|csv|json --out PATH\n"
+         "Run `scaa_campaign <subcommand> --help` for per-command details.\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    print_usage(std::cerr);
+    return 2;
+  }
+  const std::string subcommand = argv[1];
+  if (subcommand == "--help" || subcommand == "-h" || subcommand == "help") {
+    print_usage(std::cout);
+    return 0;
+  }
+  if (subcommand == "list") {
+    for (const auto& cmd : scaa::cli::campaign_commands())
+      std::cout << cmd.name << "\t" << cmd.paper_ref << "\t" << cmd.description
+                << "\n";
+    return 0;
+  }
+
+  std::vector<std::string> tokens;
+  tokens.reserve(static_cast<std::size_t>(argc - 2));
+  for (int i = 2; i < argc; ++i) tokens.emplace_back(argv[i]);
+  return scaa::cli::run_campaign_command(subcommand, tokens, std::cout,
+                                         std::cerr);
+}

@@ -1,0 +1,149 @@
+#include "cli/report.hpp"
+
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/csv.hpp"
+#include "util/table.hpp"
+
+namespace scaa::cli {
+
+Format parse_format(const std::string& name) {
+  if (name == "text") return Format::kText;
+  if (name == "csv") return Format::kCsv;
+  if (name == "json") return Format::kJson;
+  throw std::invalid_argument("unknown format: " + name);
+}
+
+std::string to_string(Format format) {
+  switch (format) {
+    case Format::kText: return "text";
+    case Format::kCsv: return "csv";
+    case Format::kJson: return "json";
+  }
+  return "?";
+}
+
+Report::Report(std::string name, std::vector<std::string> columns)
+    : name_(std::move(name)), columns_(std::move(columns)) {
+  if (columns_.empty())
+    throw std::invalid_argument("Report needs at least one column");
+}
+
+void Report::add_row(std::vector<Cell> row) {
+  if (row.size() != columns_.size())
+    throw std::invalid_argument("Report row has " + std::to_string(row.size()) +
+                                " cells, expected " +
+                                std::to_string(columns_.size()));
+  rows_.push_back(std::move(row));
+}
+
+void Report::write_csv(std::ostream& out) const {
+  util::CsvWriter csv(out);
+  csv.header(columns_);
+  for (const auto& row : rows_) {
+    csv.row();
+    for (const Cell& cell : row) {
+      std::visit([&csv](const auto& v) { csv.cell(v); }, cell);
+    }
+    csv.end_row();
+  }
+}
+
+std::string json_escape(const std::string& raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (const char c : raw) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+void write_json_cell(std::ostream& out, const Cell& cell) {
+  if (std::holds_alternative<std::string>(cell)) {
+    out << '"' << json_escape(std::get<std::string>(cell)) << '"';
+  } else if (std::holds_alternative<double>(cell)) {
+    std::ostringstream os;
+    os.precision(17);
+    os << std::get<double>(cell);
+    out << os.str();
+  } else if (std::holds_alternative<long long>(cell)) {
+    out << std::get<long long>(cell);
+  } else {
+    out << (std::get<bool>(cell) ? "true" : "false");
+  }
+}
+
+std::string cell_to_text(const Cell& cell) {
+  if (std::holds_alternative<std::string>(cell))
+    return std::get<std::string>(cell);
+  if (std::holds_alternative<double>(cell)) {
+    std::ostringstream os;
+    os << std::get<double>(cell);
+    return os.str();
+  }
+  if (std::holds_alternative<long long>(cell))
+    return std::to_string(std::get<long long>(cell));
+  return std::get<bool>(cell) ? "yes" : "no";
+}
+
+}  // namespace
+
+void Report::write_json(std::ostream& out) const {
+  out << "{\"report\":\"" << json_escape(name_) << "\",\"columns\":[";
+  for (std::size_t i = 0; i < columns_.size(); ++i) {
+    if (i) out << ',';
+    out << '"' << json_escape(columns_[i]) << '"';
+  }
+  out << "],\"rows\":[";
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    if (r) out << ',';
+    out << '{';
+    for (std::size_t c = 0; c < columns_.size(); ++c) {
+      if (c) out << ',';
+      out << '"' << json_escape(columns_[c]) << "\":";
+      write_json_cell(out, rows_[r][c]);
+    }
+    out << '}';
+  }
+  out << "]}\n";
+}
+
+void Report::write_text(std::ostream& out) const {
+  util::TextTable table;
+  table.set_header(columns_);
+  for (const auto& row : rows_) {
+    std::vector<std::string> cells;
+    cells.reserve(row.size());
+    for (const Cell& cell : row) cells.push_back(cell_to_text(cell));
+    table.add_row(std::move(cells));
+  }
+  out << name_ << "\n\n" << table.render();
+}
+
+void Report::write(std::ostream& out, Format format) const {
+  switch (format) {
+    case Format::kText: write_text(out); break;
+    case Format::kCsv: write_csv(out); break;
+    case Format::kJson: write_json(out); break;
+  }
+}
+
+}  // namespace scaa::cli

@@ -1,0 +1,61 @@
+#pragma once
+
+/// @file report.hpp
+/// Structured campaign output: one Report = one named table of typed cells,
+/// writable as CSV (machine), JSON (machine), or an aligned text table
+/// (human). Every scaa_campaign subcommand and bench binary funnels its
+/// results through this type so output handling lives in exactly one place.
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace scaa::cli {
+
+/// Output format selector, shared across all campaign entry points.
+enum class Format { kText, kCsv, kJson };
+
+/// Parse "text" | "csv" | "json" (throws ArgError via caller on mismatch —
+/// use with ArgParser::add_choice so bad values never reach here).
+Format parse_format(const std::string& name);
+std::string to_string(Format format);
+
+/// One table cell. Booleans serialize as true/false in JSON and 1/0 in CSV.
+using Cell = std::variant<std::string, double, long long, bool>;
+
+/// A named, typed result table.
+class Report {
+ public:
+  Report(std::string name, std::vector<std::string> columns);
+
+  /// Append a row; must have exactly one cell per column (enforced).
+  void add_row(std::vector<Cell> row);
+
+  const std::string& name() const noexcept { return name_; }
+  const std::vector<std::string>& columns() const noexcept { return columns_; }
+  const std::vector<std::vector<Cell>>& rows() const noexcept { return rows_; }
+
+  /// CSV with a header row; RFC-4180 quoting via util::CsvWriter.
+  void write_csv(std::ostream& out) const;
+
+  /// A JSON object: {"report": <name>, "columns": [...], "rows": [{...}]}.
+  void write_json(std::ostream& out) const;
+
+  /// Aligned text table (util::TextTable) preceded by the report name.
+  void write_text(std::ostream& out) const;
+
+  /// Dispatch on @p format.
+  void write(std::ostream& out, Format format) const;
+
+ private:
+  std::string name_;
+  std::vector<std::string> columns_;
+  std::vector<std::vector<Cell>> rows_;
+};
+
+/// Escape a string for embedding in a JSON document (adds no quotes).
+std::string json_escape(const std::string& raw);
+
+}  // namespace scaa::cli

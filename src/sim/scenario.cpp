@@ -28,6 +28,12 @@ Scenario Scenario::make(int sid, double gap) {
   return s;
 }
 
-std::string Scenario::name() const { return "S" + std::to_string(id); }
+std::string Scenario::name() const {
+  // Built via append rather than "S" + to_string(id): the operator+ form
+  // trips GCC 12's -Wrestrict false positive (PR 105329) under -O2.
+  std::string n = "S";
+  n += std::to_string(id);
+  return n;
+}
 
 }  // namespace scaa::sim

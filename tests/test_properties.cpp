@@ -177,7 +177,9 @@ TEST_P(AttackInvariants, SummaryConsistency) {
       EXPECT_NEAR(s.tth, s.first_hazard_time - s.attack_start, 1e-9);
     }
     // Corruption requires activation.
-    if (s.frames_corrupted > 0) EXPECT_TRUE(s.attack_activated);
+    if (s.frames_corrupted > 0) {
+      EXPECT_TRUE(s.attack_activated);
+    }
     // The gateway never sees an invalid checksum: the attacker repairs them.
     EXPECT_EQ(s.can_checksum_rejects, 0u);
     // The simulation never runs past its configured duration.
