@@ -4,6 +4,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include <array>
+
 #include "adas/kalman.hpp"
 #include "can/packer.hpp"
 #include "exp/campaign.hpp"
@@ -41,6 +43,40 @@ void BM_CanParse(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_CanParse);
+
+void BM_CanPackPrecompiled(benchmark::State& state) {
+  const auto db = can::Database::simulated_car();
+  can::CanPacker packer(db);
+  const auto msg = db.handle("STEERING_CONTROL");
+  const auto angle =
+      db.signal_handle("STEERING_CONTROL", can::sig::kSteerAngleCmd);
+  const auto enabled =
+      db.signal_handle("STEERING_CONTROL", can::sig::kSteerEnabled);
+  std::array<double, 2> values{};
+  double angle_deg = 0.0;
+  for (auto _ : state) {
+    angle_deg += 0.001;
+    values[angle.signal] = angle_deg;
+    values[enabled.signal] = 1.0;
+    auto frame = packer.pack(msg, values);
+    benchmark::DoNotOptimize(frame);
+  }
+}
+BENCHMARK(BM_CanPackPrecompiled);
+
+void BM_CanParsePrecompiled(benchmark::State& state) {
+  const auto db = can::Database::simulated_car();
+  can::CanPacker packer(db);
+  can::CanParser parser(db);
+  const auto frame = packer.pack("STEERING_CONTROL",
+                                 {{can::sig::kSteerAngleCmd, 0.42},
+                                  {can::sig::kSteerEnabled, 1.0}});
+  for (auto _ : state) {
+    const auto* parsed = parser.parse_flat(frame);
+    benchmark::DoNotOptimize(parsed);
+  }
+}
+BENCHMARK(BM_CanParsePrecompiled);
 
 void BM_PubSubRoundtrip(benchmark::State& state) {
   msg::PubSubBus bus;

@@ -1,0 +1,125 @@
+// Simulation hot-path microbenchmark: World construction cost with private
+// vs shared immutable assets (road + DBC), World::step() time, and full
+// simulation wall-clock. Together with bench_codec this quantifies the
+// campaign-scale optimizations: thousands of Monte-Carlo Worlds per table
+// share one road/database and step allocation-free.
+//
+// Usage: bench_step [--sims N] [--format text|csv|json] [--out PATH]
+
+#include <chrono>
+#include <fstream>
+#include <iostream>
+
+#include "cli/args.hpp"
+#include "cli/report.hpp"
+#include "exp/campaign.hpp"
+#include "sim/world.hpp"
+#include "util/stopwatch.hpp"
+
+namespace {
+
+using namespace scaa;
+using util::seconds_since;
+
+exp::CampaignItem bench_item(std::uint64_t seed) {
+  exp::CampaignItem item;
+  item.strategy = attack::StrategyKind::kContextAware;
+  item.type = attack::AttackType::kAcceleration;
+  item.seed = seed;
+  return item;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  cli::ArgParser args("bench_step",
+                      "simulation hot-path benchmark: World construction "
+                      "(private vs shared assets), step(), full runs");
+  args.add_int("--sims", 20, "full simulations (and 5x constructions)", 1,
+               100000);
+  args.add_choice("--format", "text", {"text", "csv", "json"},
+                  "output format");
+  args.add_string("--out", "-", "output path ('-' = stdout)");
+  if (const int code = args.parse_or_exit_code(argc, argv); code >= 0)
+    return code;
+  const auto sims = static_cast<std::size_t>(args.get_int("--sims"));
+  const std::size_t constructions = sims * 5;
+  const cli::Format format = cli::parse_format(args.get_string("--format"));
+
+  const exp::WorldAssets assets = exp::WorldAssets::make_default();
+
+  // --- construction: private assets (road + DBC rebuilt per World) -------
+  const auto t_owned = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < constructions; ++i) {
+    sim::World world(exp::world_config_for(bench_item(i + 1)));
+    if (world.time() != 0.0) return 1;  // keep the loop observable
+  }
+  const double owned_s = seconds_since(t_owned);
+
+  // --- construction: shared immutable assets -----------------------------
+  const auto t_shared = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < constructions; ++i) {
+    sim::World world(exp::world_config_for(bench_item(i + 1), assets));
+    if (world.time() != 0.0) return 1;
+  }
+  const double shared_s = seconds_since(t_shared);
+
+  // --- step() throughput -------------------------------------------------
+  std::uint64_t steps = 0;
+  const auto t_step = std::chrono::steady_clock::now();
+  {
+    sim::World world(exp::world_config_for(bench_item(5), assets));
+    while (world.step()) ++steps;
+  }
+  double step_s = seconds_since(t_step);
+  for (std::uint64_t seed = 6; steps < 20000; ++seed) {
+    const auto t_more = std::chrono::steady_clock::now();
+    sim::World world(exp::world_config_for(bench_item(seed), assets));
+    while (world.step()) ++steps;
+    step_s += seconds_since(t_more);
+  }
+
+  // --- full simulations (construct + run + summarize) --------------------
+  const auto t_full = std::chrono::steady_clock::now();
+  std::size_t hazards = 0;
+  for (std::size_t i = 0; i < sims; ++i) {
+    sim::World world(exp::world_config_for(bench_item(i + 1), assets));
+    if (world.run().any_hazard) ++hazards;
+  }
+  const double full_s = seconds_since(t_full);
+
+  cli::Report report(
+      "bench_step: World construction, step() and full-simulation timing",
+      {"name", "ops", "unit", "time_per_op", "speedup_vs_owned"});
+  const auto per = [](double total_s, std::size_t n, double scale) {
+    return n ? total_s * scale / static_cast<double>(n) : 0.0;
+  };
+  report.add_row({std::string("construct_private_assets"),
+                  static_cast<long long>(constructions), std::string("us"),
+                  per(owned_s, constructions, 1e6), 1.0});
+  report.add_row({std::string("construct_shared_assets"),
+                  static_cast<long long>(constructions), std::string("us"),
+                  per(shared_s, constructions, 1e6),
+                  shared_s > 0.0 ? owned_s / shared_s : 0.0});
+  report.add_row({std::string("world_step"), static_cast<long long>(steps),
+                  std::string("us"), per(step_s, steps, 1e6), 0.0});
+  report.add_row({std::string("full_simulation"),
+                  static_cast<long long>(sims), std::string("ms"),
+                  per(full_s, sims, 1e3), 0.0});
+
+  const std::string& out_path = args.get_string("--out");
+  if (out_path == "-") {
+    report.write(std::cout, format);
+  } else {
+    std::ofstream file(out_path);
+    if (!file) {
+      std::cerr << "bench_step: cannot open '" << out_path
+                << "' for writing\n";
+      return 1;
+    }
+    report.write(file, format);
+  }
+  std::cerr << "[bench_step] " << sims << " full sims, " << hazards
+            << " with hazards\n";
+  return 0;
+}

@@ -20,7 +20,20 @@ Controls::Controls(msg::PubSubBus& bus, can::CanBus& can_bus,
       longitudinal_planner_(config.acc),
       torque_controller_(config.steer, params),
       long_control_(config.longitudinal),
-      packer_(db) {}
+      packer_(db),
+      steering_msg_(db.handle("STEERING_CONTROL")),
+      gas_brake_msg_(db.handle("GAS_BRAKE_COMMAND")),
+      steer_angle_sig_(
+          db.signal_handle("STEERING_CONTROL", can::sig::kSteerAngleCmd)),
+      steer_enabled_sig_(
+          db.signal_handle("STEERING_CONTROL", can::sig::kSteerEnabled)),
+      accel_sig_(db.signal_handle("GAS_BRAKE_COMMAND", can::sig::kAccelCmd)),
+      brake_request_sig_(
+          db.signal_handle("GAS_BRAKE_COMMAND", can::sig::kBrakeRequest)),
+      steering_values_(db.schema().signal_count(steering_msg_),
+                       can::kSignalUnset),
+      gas_brake_values_(db.schema().signal_count(gas_brake_msg_),
+                        can::kSignalUnset) {}
 
 ControlsOutput Controls::step(std::uint64_t step_index, double dt) {
   ControlsOutput out;
@@ -90,14 +103,16 @@ ControlsOutput Controls::step(std::uint64_t step_index, double dt) {
 
   // --- encode actuator commands onto the CAN bus ---
   // Wire units: centi-degrees for steering, milli-m/s^2 for acceleration.
-  can_bus_->send(packer_.pack(
-      "STEERING_CONTROL",
-      {{can::sig::kSteerAngleCmd, units::rad_to_deg(clamped.steer_angle)},
-       {can::sig::kSteerEnabled, engaged_ ? 1.0 : 0.0}}));
-  can_bus_->send(packer_.pack(
-      "GAS_BRAKE_COMMAND",
-      {{can::sig::kAccelCmd, clamped.accel},
-       {can::sig::kBrakeRequest, clamped.accel < 0.0 ? 1.0 : 0.0}}));
+  // Handles were resolved at construction; packing is allocation-free.
+  steering_values_[steer_angle_sig_.signal] =
+      units::rad_to_deg(clamped.steer_angle);
+  steering_values_[steer_enabled_sig_.signal] = engaged_ ? 1.0 : 0.0;
+  can_bus_->send(packer_.pack(steering_msg_, steering_values_));
+
+  gas_brake_values_[accel_sig_.signal] = clamped.accel;
+  gas_brake_values_[brake_request_sig_.signal] =
+      clamped.accel < 0.0 ? 1.0 : 0.0;
+  can_bus_->send(packer_.pack(gas_brake_msg_, gas_brake_values_));
 
   return out;
 }

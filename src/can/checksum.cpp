@@ -25,9 +25,10 @@ std::uint8_t honda_checksum(std::uint32_t address,
 void apply_honda_checksum(CanFrame& frame) {
   const int len = frame.dlc;
   if (len == 0) return;
-  auto& last = frame.data[static_cast<std::size_t>(len - 1)];
-  last &= 0xF0;  // clear the checksum nibble before computing
+  // honda_checksum never reads the checksum nibble itself, so there is no
+  // need to clear it first.
   const std::uint8_t ck = honda_checksum(frame.id, frame.data, len);
+  auto& last = frame.data[static_cast<std::size_t>(len - 1)];
   last = static_cast<std::uint8_t>((last & 0xF0) | ck);
 }
 
@@ -46,11 +47,9 @@ bool verify_honda_checksum(const CanFrame& frame) {
   if (frame.dlc == 0) return false;
   const auto stored = static_cast<std::uint8_t>(
       frame.data[static_cast<std::size_t>(frame.dlc - 1)] & 0x0F);
-  CanFrame scratch = frame;
-  scratch.data[static_cast<std::size_t>(frame.dlc - 1)] &= 0xF0;
-  const std::uint8_t computed =
-      honda_checksum(scratch.id, scratch.data, frame.dlc);
-  return stored == computed;
+  // honda_checksum skips the checksum nibble, so the frame can be summed
+  // in place (this runs for every frame the gateway/panda/defense see).
+  return stored == honda_checksum(frame.id, frame.data, frame.dlc);
 }
 
 }  // namespace scaa::can

@@ -10,18 +10,34 @@ Database::Database(std::vector<DbcMessage> messages)
     if (m.size == 0 || m.size > 8)
       throw std::invalid_argument("Database: message size must be 1..8");
   }
+  schema_ = MessageSchema(msgs_);
 }
 
 const DbcMessage* Database::by_id(std::uint32_t id) const noexcept {
-  for (const auto& m : msgs_)
-    if (m.id == id) return &m;
-  return nullptr;
+  const MessageHandle h = schema_.message_by_id(id);
+  return h.valid() ? &msgs_[h.index] : nullptr;
 }
 
 const DbcMessage* Database::by_name(const std::string& name) const noexcept {
-  for (const auto& m : msgs_)
-    if (m.name == name) return &m;
-  return nullptr;
+  const MessageHandle h = schema_.message_by_name(name);
+  return h.valid() ? &msgs_[h.index] : nullptr;
+}
+
+MessageHandle Database::handle(const std::string& message_name) const {
+  const MessageHandle h = schema_.message_by_name(message_name);
+  if (!h.valid())
+    throw std::invalid_argument("Database: unknown message " + message_name);
+  return h;
+}
+
+SignalHandle Database::signal_handle(const std::string& message_name,
+                                     const std::string& signal_name) const {
+  const SignalHandle h =
+      schema_.signal_by_name(handle(message_name), signal_name);
+  if (!h.valid())
+    throw std::invalid_argument("Database: unknown signal " + signal_name +
+                                " in " + message_name);
+  return h;
 }
 
 Database Database::simulated_car() {

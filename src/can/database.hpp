@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "can/dbc.hpp"
+#include "can/schema.hpp"
 
 namespace scaa::can {
 
@@ -37,12 +38,13 @@ inline constexpr const char* kSteerAngle = "STEER_ANGLE";
 inline constexpr const char* kFcw = "FCW";
 }  // namespace sig
 
-/// In-memory DBC database: lookup by id or name.
+/// In-memory DBC database: lookup by id or name, plus the precompiled
+/// MessageSchema that the allocation-free codec paths resolve through.
 class Database {
  public:
   explicit Database(std::vector<DbcMessage> messages);
 
-  /// Message layout by CAN id; nullptr when unknown.
+  /// Message layout by CAN id; nullptr when unknown. O(1).
   const DbcMessage* by_id(std::uint32_t id) const noexcept;
 
   /// Message layout by name; nullptr when unknown.
@@ -51,11 +53,35 @@ class Database {
   /// All messages.
   const std::vector<DbcMessage>& messages() const noexcept { return msgs_; }
 
+  /// The precompiled name/id lookup tables.
+  const MessageSchema& schema() const noexcept { return schema_; }
+
+  /// Message layout for a valid handle (no bounds check: handles come from
+  /// this database's schema, resolved once at setup).
+  const DbcMessage& message(MessageHandle h) const noexcept {
+    return msgs_[h.index];
+  }
+
+  /// Signal layout for a valid handle.
+  const DbcSignal& signal(SignalHandle h) const noexcept {
+    return msgs_[h.message].signals[h.signal];
+  }
+
+  /// Resolve a message name to a handle; throws std::invalid_argument for
+  /// unknown names (setup-time API: fail loudly, once).
+  MessageHandle handle(const std::string& message_name) const;
+
+  /// Resolve a (message, signal) name pair; throws std::invalid_argument
+  /// when either is unknown.
+  SignalHandle signal_handle(const std::string& message_name,
+                             const std::string& signal_name) const;
+
   /// Build the database for the simulated car.
   static Database simulated_car();
 
  private:
   std::vector<DbcMessage> msgs_;
+  MessageSchema schema_;
 };
 
 }  // namespace scaa::can

@@ -1,29 +1,30 @@
 #include "can/packer.hpp"
 
+#include <algorithm>
+#include <cmath>
 #include <stdexcept>
 
 namespace scaa::can {
 
-CanFrame CanPacker::pack(const std::string& message_name,
-                         const std::map<std::string, double>& values) {
-  const DbcMessage* layout = db_->by_name(message_name);
-  if (layout == nullptr)
-    throw std::invalid_argument("CanPacker: unknown message " + message_name);
+CanPacker::CanPacker(const Database& db)
+    : db_(&db),
+      counters_(db.schema().message_count(), 0),
+      scratch_(db.schema().max_signals_per_message(), kSignalUnset) {}
+
+CanFrame CanPacker::pack(MessageHandle msg, std::span<const double> values) {
+  const DbcMessage& layout = db_->message(msg);
 
   CanFrame frame;
-  frame.id = layout->id;
-  frame.dlc = layout->size;
+  frame.id = layout.id;
+  frame.dlc = layout.size;
 
-  for (const auto& [name, value] : values) {
-    const DbcSignal* sig = layout->find_signal(name);
-    if (sig == nullptr)
-      throw std::invalid_argument("CanPacker: unknown signal " + name +
-                                  " in " + message_name);
-    sig->encode(frame.data, value);
+  const std::size_t n = std::min(values.size(), layout.signals.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!std::isnan(values[i])) layout.signals[i].encode(frame.data, values[i]);
   }
 
-  if (layout->checksum == ChecksumKind::kHonda) {
-    auto& counter = counters_[layout->id];
+  if (layout.checksum == ChecksumKind::kHonda) {
+    std::uint8_t& counter = counters_[msg.index];
     write_counter(frame, counter);
     counter = static_cast<std::uint8_t>((counter + 1) & 0x3);
     apply_honda_checksum(frame);
@@ -31,29 +32,70 @@ CanFrame CanPacker::pack(const std::string& message_name,
   return frame;
 }
 
-std::optional<CanParser::Parsed> CanParser::parse(const CanFrame& frame) {
-  const DbcMessage* layout = db_->by_id(frame.id);
-  if (layout == nullptr) return std::nullopt;
+CanFrame CanPacker::pack(const std::string& message_name,
+                         const std::map<std::string, double>& values) {
+  const MessageHandle msg = db_->schema().message_by_name(message_name);
+  if (!msg.valid())
+    throw std::invalid_argument("CanPacker: unknown message " + message_name);
 
-  Parsed out;
-  out.message = layout;
+  const std::size_t n = db_->schema().signal_count(msg);
+  std::fill(scratch_.begin(), scratch_.begin() + n, kSignalUnset);
+  for (const auto& [name, value] : values) {
+    const SignalHandle sig = db_->schema().signal_by_name(msg, name);
+    if (!sig.valid())
+      throw std::invalid_argument("CanPacker: unknown signal " + name +
+                                  " in " + message_name);
+    scratch_[sig.signal] = value;
+  }
+  return pack(msg, std::span<const double>(scratch_.data(), n));
+}
 
-  if (layout->checksum == ChecksumKind::kHonda) {
-    out.checksum_ok = verify_honda_checksum(frame);
-    if (!out.checksum_ok) ++checksum_errors_;
+CanParser::CanParser(const Database& db)
+    : db_(&db),
+      last_counter_(db.schema().message_count(), -1),
+      values_(db.schema().max_signals_per_message(), 0.0) {}
+
+const CanParser::ParsedFrame* CanParser::parse_flat(const CanFrame& frame) {
+  const MessageHandle msg = db_->schema().message_by_id(frame.id);
+  if (!msg.valid()) return nullptr;
+  const DbcMessage& layout = db_->message(msg);
+
+  flat_.handle = msg;
+  flat_.message = &layout;
+  flat_.checksum_ok = true;
+  flat_.counter_ok = true;
+
+  if (layout.checksum == ChecksumKind::kHonda) {
+    flat_.checksum_ok = verify_honda_checksum(frame);
+    if (!flat_.checksum_ok) ++checksum_errors_;
 
     const std::uint8_t counter = read_counter(frame);
-    const auto it = last_counter_.find(frame.id);
-    if (it != last_counter_.end()) {
-      const auto expected = static_cast<std::uint8_t>((it->second + 1) & 0x3);
-      out.counter_ok = counter == expected;
-      if (!out.counter_ok) ++counter_errors_;
+    std::int16_t& last = last_counter_[msg.index];
+    if (last >= 0) {
+      const auto expected = static_cast<std::uint8_t>((last + 1) & 0x3);
+      flat_.counter_ok = counter == expected;
+      if (!flat_.counter_ok) ++counter_errors_;
     }
-    last_counter_[frame.id] = counter;
+    last = counter;
   }
 
-  for (const auto& sig : layout->signals)
-    out.values[sig.name] = sig.decode(frame.data);
+  const std::size_t n = layout.signals.size();
+  for (std::size_t i = 0; i < n; ++i)
+    values_[i] = layout.signals[i].decode(frame.data);
+  flat_.values = std::span<const double>(values_.data(), n);
+  return &flat_;
+}
+
+std::optional<CanParser::Parsed> CanParser::parse(const CanFrame& frame) {
+  const ParsedFrame* flat = parse_flat(frame);
+  if (flat == nullptr) return std::nullopt;
+
+  Parsed out;
+  out.message = flat->message;
+  out.checksum_ok = flat->checksum_ok;
+  out.counter_ok = flat->counter_ok;
+  for (std::size_t i = 0; i < flat->values.size(); ++i)
+    out.values[flat->message->signals[i].name] = flat->values[i];
   return out;
 }
 

@@ -3,40 +3,88 @@
 /// @file packer.hpp
 /// Frame construction and parsing against a DBC database
 /// (the CanPacker / CanParser pair, as in OpenPilot).
+///
+/// Both classes have two faces:
+///  - the precompiled path (MessageHandle + flat value arrays) used by the
+///    100 Hz simulation loop: zero heap allocation and zero string
+///    comparison per frame;
+///  - the string-keyed path, kept as a thin compatibility shim that
+///    resolves names through the database schema and delegates to the
+///    precompiled path.
 
+#include <cstdint>
+#include <limits>
 #include <map>
 #include <optional>
+#include <span>
 #include <string>
+#include <vector>
 
 #include "can/checksum.hpp"
 #include "can/database.hpp"
 
 namespace scaa::can {
 
+/// Sentinel for "signal not set" in a flat pack buffer: the signal's bits
+/// stay zero on the wire, exactly like omitting the name from the
+/// string-keyed map (raw zero, not physical zero — they differ for signals
+/// with a non-zero offset).
+inline constexpr double kSignalUnset =
+    std::numeric_limits<double>::quiet_NaN();
+
 /// Builds checksummed, counted frames from signal values.
 class CanPacker {
  public:
   /// The database is borrowed and must outlive the packer.
-  explicit CanPacker(const Database& db) : db_(&db) {}
+  explicit CanPacker(const Database& db);
 
-  /// Build a frame for @p message_name from named physical values. Signals
-  /// not listed are encoded as zero. Applies checksum and advances the
-  /// per-message rolling counter. Throws std::invalid_argument for unknown
-  /// message or signal names.
+  /// Precompiled path: @p values[i] is the physical value of signal i of
+  /// @p msg (the database's declaration order). Entries beyond
+  /// values.size(), and entries equal to kSignalUnset, leave the signal's
+  /// bits zero. Applies checksum and advances the per-message rolling
+  /// counter. No per-frame heap allocation or string comparison.
+  /// @p msg must be a valid handle from this packer's database.
+  CanFrame pack(MessageHandle msg, std::span<const double> values);
+
+  /// Compatibility shim: build a frame for @p message_name from named
+  /// physical values. Signals not listed are encoded as zero. Throws
+  /// std::invalid_argument for unknown message or signal names.
   CanFrame pack(const std::string& message_name,
                 const std::map<std::string, double>& values);
 
  private:
   const Database* db_;
-  std::map<std::uint32_t, std::uint8_t> counters_;
+  std::vector<std::uint8_t> counters_;  ///< per message index (dense)
+  std::vector<double> scratch_;         ///< shim's flat value buffer
 };
 
 /// Decodes frames and validates integrity.
 class CanParser {
  public:
-  explicit CanParser(const Database& db) : db_(&db) {}
+  explicit CanParser(const Database& db);
 
-  /// Decoded result of one frame.
+  // Non-copyable: parse_flat() hands out views into this parser's scratch
+  // buffer, which a copy would alias (each consumer owns its own parser).
+  CanParser(const CanParser&) = delete;
+  CanParser& operator=(const CanParser&) = delete;
+
+  /// Flat decoded result of one frame. The values span points into the
+  /// parser's scratch buffer: valid until the next parse call.
+  struct ParsedFrame {
+    MessageHandle handle;
+    const DbcMessage* message = nullptr;  ///< layout (borrowed from the db)
+    std::span<const double> values;       ///< indexed by signal index
+    bool checksum_ok = true;
+    bool counter_ok = true;  ///< counter advanced as expected
+  };
+
+  /// Precompiled path: parse a frame with zero per-frame heap allocation.
+  /// Returns nullptr for unknown ids; otherwise a pointer to internal
+  /// state overwritten by the next call. Counter continuity is tracked per
+  /// message across calls.
+  const ParsedFrame* parse_flat(const CanFrame& frame);
+
+  /// Decoded result of one frame (string-keyed compatibility shim).
   struct Parsed {
     const DbcMessage* message = nullptr;  ///< layout (borrowed from the db)
     std::map<std::string, double> values; ///< signal name -> physical value
@@ -44,8 +92,7 @@ class CanParser {
     bool counter_ok = true;               ///< counter advanced as expected
   };
 
-  /// Parse a frame. Unknown ids return std::nullopt. Counter continuity is
-  /// tracked per message id across calls.
+  /// Parse a frame into named values. Unknown ids return std::nullopt.
   std::optional<Parsed> parse(const CanFrame& frame);
 
   /// Number of frames rejected due to bad checksums so far.
@@ -56,7 +103,9 @@ class CanParser {
 
  private:
   const Database* db_;
-  std::map<std::uint32_t, std::uint8_t> last_counter_;
+  std::vector<std::int16_t> last_counter_;  ///< per message index; -1 = none
+  std::vector<double> values_;              ///< parse_flat scratch
+  ParsedFrame flat_;
   std::uint64_t checksum_errors_ = 0;
   std::uint64_t counter_errors_ = 0;
 };

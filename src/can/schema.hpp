@@ -1,0 +1,86 @@
+#pragma once
+
+/// @file schema.hpp
+/// Precompiled codec handles: message and signal names resolved ONCE at
+/// setup time to dense indices, so the per-frame hot path (pack/parse at
+/// 100 Hz x thousands of Monte-Carlo simulations) never compares strings,
+/// walks the message list, or touches the heap.
+///
+/// A MessageHandle is the index of a message inside its Database; a
+/// SignalHandle additionally carries the index of a signal inside that
+/// message's signal list. The MessageSchema owns the lookup tables
+/// (id -> index, name -> index) and is a self-contained value type, so a
+/// Database can be copied or moved without invalidating its schema.
+
+#include <cstdint>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "can/dbc.hpp"
+
+namespace scaa::can {
+
+/// Dense index of a message within its Database. Invalid handles compare
+/// false via valid(); using one with the codec is a precondition violation.
+struct MessageHandle {
+  static constexpr std::uint16_t kInvalid = 0xFFFF;
+  std::uint16_t index = kInvalid;
+
+  bool valid() const noexcept { return index != kInvalid; }
+  bool operator==(const MessageHandle&) const = default;
+};
+
+/// Dense (message, signal) index pair within a Database.
+struct SignalHandle {
+  std::uint16_t message = MessageHandle::kInvalid;
+  std::uint16_t signal = 0;
+
+  bool valid() const noexcept { return message != MessageHandle::kInvalid; }
+  bool operator==(const SignalHandle&) const = default;
+};
+
+/// Precompiled lookup tables over one message list. Construction is
+/// O(total signals * log); every query afterwards is O(1) for ids (direct
+/// table over the 11-bit standard id space, sorted overflow for anything
+/// larger) and O(log n) for names — and none of them allocate.
+class MessageSchema {
+ public:
+  MessageSchema() = default;
+  explicit MessageSchema(const std::vector<DbcMessage>& messages);
+
+  std::size_t message_count() const noexcept { return signal_counts_.size(); }
+
+  /// Largest signal count of any message (sizes codec scratch buffers).
+  std::size_t max_signals_per_message() const noexcept { return max_signals_; }
+
+  /// Signals in message @p msg; 0 for invalid handles.
+  std::size_t signal_count(MessageHandle msg) const noexcept;
+
+  /// Message handle by CAN id; invalid handle when unknown. O(1).
+  MessageHandle message_by_id(std::uint32_t id) const noexcept;
+
+  /// Message handle by name; invalid handle when unknown.
+  MessageHandle message_by_name(std::string_view name) const noexcept;
+
+  /// Signal handle by name within @p msg; invalid handle when either the
+  /// message handle is invalid or the signal name is unknown.
+  SignalHandle signal_by_name(MessageHandle msg,
+                              std::string_view name) const noexcept;
+
+ private:
+  /// Standard CAN uses 11-bit ids; everything in that range resolves
+  /// through one flat array. Extended ids fall back to binary search.
+  static constexpr std::uint32_t kDirectIds = 2048;
+
+  std::vector<std::int32_t> id_direct_;  ///< id -> message index; -1 unknown
+  std::vector<std::pair<std::uint32_t, std::uint16_t>> id_overflow_;
+  std::vector<std::pair<std::string, std::uint16_t>> names_;  ///< sorted
+  std::vector<std::uint16_t> signal_counts_;   ///< per message index
+  std::vector<std::uint32_t> signal_offsets_;  ///< message -> signal_names_
+  /// Per-message runs of (signal name, signal index), each run sorted.
+  std::vector<std::pair<std::string, std::uint16_t>> signal_names_;
+  std::size_t max_signals_ = 0;
+};
+
+}  // namespace scaa::can

@@ -1,8 +1,10 @@
 #include "cli/campaigns.hpp"
 
+#include <chrono>
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <memory>
 #include <ostream>
 
 #include "cli/args.hpp"
@@ -10,6 +12,7 @@
 #include "exp/param_space.hpp"
 #include "exp/tables.hpp"
 #include "sim/world.hpp"
+#include "util/stopwatch.hpp"
 
 namespace scaa::cli {
 
@@ -19,6 +22,50 @@ long long ll(std::size_t v) { return static_cast<long long>(v); }
 
 void note(std::ostream* progress, const std::string& line) {
   if (progress) *progress << line << "\n" << std::flush;
+}
+
+/// Live per-chunk progress for the streaming runner: prints a status line
+/// whenever the campaign crosses another 10% of its grid.
+exp::CampaignProgressFn decile_progress(std::ostream* out,
+                                        const std::string& tag) {
+  if (out == nullptr) return {};
+  auto last_decile = std::make_shared<int>(-1);
+  return [out, tag, last_decile](const exp::CampaignProgress& p) {
+    if (p.total == 0) return;
+    const int decile = static_cast<int>(10 * p.completed / p.total);
+    if (decile == *last_decile || p.completed == p.total) return;
+    *last_decile = decile;
+    *out << "[" << tag << "] " << p.completed << "/" << p.total << " sims\n"
+         << std::flush;
+  };
+}
+
+/// Run one Table IV strategy through the streaming runner. The single
+/// grid-construction + run path shared by table4_report and bench_report,
+/// so the two can never drift apart (bench's aggregate columns double as
+/// a seed-for-seed identity check against table4).
+struct StrategyRun {
+  exp::Aggregate agg;
+  double wall_s = 0.0;
+};
+
+StrategyRun run_table4_strategy(const Table4Strategy& row,
+                                const CampaignOptions& options,
+                                const exp::CampaignConfig& cc,
+                                std::ostream* progress,
+                                const std::string& tag) {
+  const auto grid =
+      exp::make_grid(row.kind, row.strategic, /*driver_enabled=*/true,
+                     options.reps * row.rep_multiplier, options.seed);
+  const auto start = std::chrono::steady_clock::now();
+  // Streaming runner: O(threads) live memory instead of one result per
+  // simulation, with per-chunk progress while the grid drains.
+  StrategyRun run;
+  run.agg = exp::run_campaign_streaming(
+      grid, cc,
+      decile_progress(progress, tag + " " + to_string(row.kind)));
+  run.wall_s = util::seconds_since(start);
+  return run;
 }
 
 }  // namespace
@@ -46,10 +93,8 @@ Report table4_report(const CampaignOptions& options, std::ostream* progress) {
                  "hazards_without_alerts", "fcw_activations",
                  "lane_invasion_rate_mean", "tth_mean", "tth_std"});
   for (const Table4Strategy& row : table4_strategies()) {
-    const auto grid =
-        exp::make_grid(row.kind, row.strategic, /*driver_enabled=*/true,
-                       options.reps * row.rep_multiplier, options.seed);
-    const auto agg = exp::aggregate(exp::run_campaign(grid, cc));
+    const auto agg =
+        run_table4_strategy(row, options, cc, progress, "table4").agg;
     report.add_row({to_string(row.kind), ll(agg.simulations),
                     ll(agg.sims_with_alerts), ll(agg.sims_with_hazards),
                     ll(agg.sims_with_accidents), ll(agg.hazards_without_alerts),
@@ -106,6 +151,41 @@ Report table5_report(const CampaignOptions& options, std::ostream* progress) {
                       o.agg.tth_std});
     }
   }
+  return report;
+}
+
+Report bench_report(const CampaignOptions& options, std::ostream* progress) {
+  exp::CampaignConfig cc;
+  cc.threads = options.threads;
+
+  Report report(
+      "bench: Table IV campaign wall-clock (streaming runner, shared assets)",
+      {"strategy", "simulations", "wall_s", "sims_per_s", "sims_with_alerts",
+       "sims_with_hazards", "sims_with_accidents", "hazards_without_alerts",
+       "fcw_activations", "lane_invasion_rate_mean", "tth_mean", "tth_std"});
+
+  double total_wall = 0.0;
+  std::size_t total_sims = 0;
+  for (const Table4Strategy& row : table4_strategies()) {
+    const auto [agg, wall] =
+        run_table4_strategy(row, options, cc, progress, "bench");
+    total_wall += wall;
+    total_sims += agg.simulations;
+    report.add_row(
+        {to_string(row.kind), ll(agg.simulations), wall,
+         wall > 0.0 ? static_cast<double>(agg.simulations) / wall : 0.0,
+         ll(agg.sims_with_alerts), ll(agg.sims_with_hazards),
+         ll(agg.sims_with_accidents), ll(agg.hazards_without_alerts),
+         ll(agg.fcw_activations), agg.lane_invasion_rate_mean, agg.tth_mean,
+         agg.tth_std});
+    note(progress, "[bench] " + to_string(row.kind) + ": " +
+                       std::to_string(agg.simulations) + " sims in " +
+                       std::to_string(wall) + " s");
+  }
+  report.add_row(
+      {std::string("TOTAL"), ll(total_sims), total_wall,
+       total_wall > 0.0 ? static_cast<double>(total_sims) / total_wall : 0.0,
+       0LL, 0LL, 0LL, 0LL, 0LL, 0.0, 0.0, 0.0});
   return report;
 }
 
@@ -173,6 +253,10 @@ const std::vector<CampaignCommand>& campaign_commands() {
        "attack-free Ego trajectory (imperfect lane centering)", &fig7_report},
       {"fig8", "Fig. 8",
        "attack start time x duration parameter space", &fig8_report},
+      {"bench", "Table IV, timed",
+       "end-to-end campaign wall-clock benchmark (emits BENCH_table4.json "
+       "rows)",
+       &bench_report},
   };
   return kCommands;
 }

@@ -54,6 +54,13 @@ Report fig7_report(const CampaignOptions& options, std::ostream* progress);
 /// @p options.reps scales the overlay runs per strategy (paper: 20).
 Report fig8_report(const CampaignOptions& options, std::ostream* progress);
 
+/// End-to-end wall-clock benchmark: the Table IV campaign timed per
+/// strategy through the streaming runner with shared immutable assets.
+/// One row per strategy plus a TOTAL row; `--format json --out
+/// BENCH_table4.json` records a benchmark trajectory point. The aggregate
+/// columns double as a seed-for-seed identity check against table4.
+Report bench_report(const CampaignOptions& options, std::ostream* progress);
+
 /// One registered scaa_campaign subcommand.
 struct CampaignCommand {
   std::string name;         ///< subcommand token, e.g. "table4"

@@ -52,6 +52,10 @@ class DefenseHarness {
   attack::ContextInference inference_;
   msg::Latest<msg::CarControl> car_control_;
   can::CanParser tap_parser_;
+  // Resolved once: the tap decodes every command frame at 100 Hz and must
+  // not allocate (it rides inside the simulation hot path).
+  can::SignalHandle steer_angle_sig_;
+  can::SignalHandle accel_sig_;
   double wire_accel_ = 0.0;
   double wire_steer_ = 0.0;
 };

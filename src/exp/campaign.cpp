@@ -1,5 +1,9 @@
 #include "exp/campaign.hpp"
 
+#include <algorithm>
+#include <mutex>
+
+#include "road/builder.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
 
@@ -34,6 +38,15 @@ std::vector<CampaignItem> make_grid(attack::StrategyKind strategy,
   return items;
 }
 
+WorldAssets WorldAssets::make_default() {
+  WorldAssets assets;
+  assets.road =
+      std::make_shared<const road::Road>(road::RoadBuilder::paper_road());
+  assets.db =
+      std::make_shared<const can::Database>(can::Database::simulated_car());
+  return assets;
+}
+
 sim::WorldConfig world_config_for(const CampaignItem& item) {
   sim::WorldConfig cfg;
   cfg.scenario = sim::Scenario::make(item.scenario_id, item.initial_gap);
@@ -46,15 +59,27 @@ sim::WorldConfig world_config_for(const CampaignItem& item) {
   return cfg;
 }
 
+sim::WorldConfig world_config_for(const CampaignItem& item,
+                                  const WorldAssets& assets) {
+  sim::WorldConfig cfg = world_config_for(item);
+  cfg.road = assets.road;
+  cfg.db = assets.db;
+  return cfg;
+}
+
 std::vector<CampaignResult> run_campaign(const std::vector<CampaignItem>& items,
                                          const CampaignConfig& config) {
+  // Per-item tasks (not chunks): this path materializes results[i] by
+  // index, so no reduction order is at stake, and fine granularity keeps
+  // every worker busy even on small grids. Chunking exists only in
+  // run_campaign_streaming, where it fixes the merge order.
   std::vector<CampaignResult> results(items.size());
+  const WorldAssets assets = WorldAssets::make_default();
   ThreadPool pool(config.threads);
   for (std::size_t i = 0; i < items.size(); ++i) {
-    pool.submit([&items, &results, i] {
-      const CampaignItem& item = items[i];
-      sim::World world(world_config_for(item));
-      results[i] = CampaignResult{item, world.run()};
+    pool.submit([&items, &results, &assets, i] {
+      sim::World world(world_config_for(items[i], assets));
+      results[i] = CampaignResult{items[i], world.run()};
     });
   }
   pool.wait_idle();
@@ -79,25 +104,94 @@ double Aggregate::alert_fraction() const noexcept {
              : 0.0;
 }
 
-Aggregate aggregate(const std::vector<CampaignResult>& results) {
-  Aggregate agg;
-  util::RunningStats invasion_rate;
-  util::RunningStats tth;
-  for (const auto& r : results) {
-    ++agg.simulations;
-    const auto& s = r.summary;
-    if (s.alert_events > 0) ++agg.sims_with_alerts;
-    if (s.any_hazard) ++agg.sims_with_hazards;
-    if (s.any_accident) ++agg.sims_with_accidents;
-    if (s.any_hazard && s.alert_events == 0) ++agg.hazards_without_alerts;
-    agg.fcw_activations += s.fcw_events;
-    invasion_rate.add(s.lane_invasion_rate);
-    if (s.tth >= 0.0) tth.add(s.tth);
-  }
-  agg.lane_invasion_rate_mean = invasion_rate.mean();
-  agg.tth_mean = tth.mean();
-  agg.tth_std = tth.stddev();
+void AggregateAccumulator::add(const sim::SimulationSummary& s) {
+  ++agg_.simulations;
+  if (s.alert_events > 0) ++agg_.sims_with_alerts;
+  if (s.any_hazard) ++agg_.sims_with_hazards;
+  if (s.any_accident) ++agg_.sims_with_accidents;
+  if (s.any_hazard && s.alert_events == 0) ++agg_.hazards_without_alerts;
+  agg_.fcw_activations += s.fcw_events;
+  invasion_rate_.add(s.lane_invasion_rate);
+  if (s.tth >= 0.0) tth_.add(s.tth);
+}
+
+void AggregateAccumulator::merge(const AggregateAccumulator& other) {
+  agg_.simulations += other.agg_.simulations;
+  agg_.sims_with_alerts += other.agg_.sims_with_alerts;
+  agg_.sims_with_hazards += other.agg_.sims_with_hazards;
+  agg_.sims_with_accidents += other.agg_.sims_with_accidents;
+  agg_.hazards_without_alerts += other.agg_.hazards_without_alerts;
+  agg_.fcw_activations += other.agg_.fcw_activations;
+  invasion_rate_.merge(other.invasion_rate_);
+  tth_.merge(other.tth_);
+}
+
+Aggregate AggregateAccumulator::finish() const {
+  Aggregate agg = agg_;
+  agg.lane_invasion_rate_mean = invasion_rate_.mean();
+  agg.tth_mean = tth_.mean();
+  agg.tth_std = tth_.stddev();
   return agg;
+}
+
+Aggregate aggregate(const std::vector<CampaignResult>& results) {
+  // Chunked exactly like run_campaign_streaming (same chunk size, same
+  // within-chunk order, same chunk-order merge) so the two reductions are
+  // bit-identical — including the floating-point moments.
+  AggregateAccumulator total;
+  for (std::size_t begin = 0; begin < results.size(); begin += kCampaignChunk) {
+    const std::size_t end = std::min(results.size(), begin + kCampaignChunk);
+    AggregateAccumulator chunk;
+    for (std::size_t i = begin; i < end; ++i) chunk.add(results[i].summary);
+    total.merge(chunk);
+  }
+  return total.finish();
+}
+
+Aggregate run_campaign_streaming(const std::vector<CampaignItem>& items,
+                                 const CampaignConfig& config,
+                                 const CampaignProgressFn& progress) {
+  const WorldAssets assets = WorldAssets::make_default();
+  const std::size_t n_chunks =
+      (items.size() + kCampaignChunk - 1) / kCampaignChunk;
+
+  // One accumulator per chunk, padded to a cache line: each is written by
+  // exactly one worker, and the padding keeps neighbouring chunks from
+  // false-sharing while workers fold results in concurrently.
+  struct alignas(64) PaddedAccumulator {
+    AggregateAccumulator acc;
+  };
+  std::vector<PaddedAccumulator> partials(n_chunks);
+
+  std::mutex progress_mutex;
+  std::size_t completed = 0;
+  {
+    ThreadPool pool(config.threads);
+    for (std::size_t c = 0; c < n_chunks; ++c) {
+      pool.submit([&items, &assets, &partials, &progress, &progress_mutex,
+                   &completed, c] {
+        const std::size_t begin = c * kCampaignChunk;
+        const std::size_t end =
+            std::min(items.size(), begin + kCampaignChunk);
+        for (std::size_t i = begin; i < end; ++i) {
+          sim::World world(world_config_for(items[i], assets));
+          partials[c].acc.add(world.run());
+        }
+        if (progress) {
+          const std::lock_guard<std::mutex> lock(progress_mutex);
+          completed += end - begin;
+          progress(CampaignProgress{completed, items.size()});
+        }
+      });
+    }
+    pool.wait_idle();
+  }
+
+  // Merge in chunk order: the fixed order is what makes the result
+  // independent of which worker ran which chunk.
+  AggregateAccumulator total;
+  for (const PaddedAccumulator& p : partials) total.merge(p.acc);
+  return total.finish();
 }
 
 }  // namespace scaa::exp

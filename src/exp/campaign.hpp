@@ -10,10 +10,13 @@
 /// a thread pool with bit-identical results at any thread count.
 
 #include <cstdint>
+#include <functional>
+#include <memory>
 #include <vector>
 
 #include "exp/thread_pool.hpp"
 #include "sim/world.hpp"
+#include "util/stats.hpp"
 
 namespace scaa::exp {
 
@@ -48,9 +51,31 @@ std::vector<CampaignItem> make_grid(attack::StrategyKind strategy,
                                     int repetitions,
                                     std::uint64_t base_seed);
 
+/// Immutable per-campaign assets: the road and DBC database are identical
+/// for every simulation, so campaigns build them once and share them
+/// (const) across all Worlds instead of rebuilding per simulation.
+struct WorldAssets {
+  std::shared_ptr<const road::Road> road;
+  std::shared_ptr<const can::Database> db;
+
+  /// Build the paper's default assets (RoadBuilder::paper_road +
+  /// Database::simulated_car).
+  static WorldAssets make_default();
+};
+
 /// Construct the WorldConfig for one item (the single place where
-/// calibration defaults live — tests and benches share it).
+/// calibration defaults live — tests and benches share it). The World
+/// builds private road/DBC copies; campaigns use the sharing overload.
 sim::WorldConfig world_config_for(const CampaignItem& item);
+
+/// As above, but referencing @p assets instead of rebuilding them.
+sim::WorldConfig world_config_for(const CampaignItem& item,
+                                  const WorldAssets& assets);
+
+/// Items per pool task. Also the reduction granularity of the streaming
+/// aggregator: fixed, so streaming results are bit-identical to the
+/// vector-of-results path at any thread count.
+inline constexpr std::size_t kCampaignChunk = 64;
 
 /// Run every item; results are returned in item order (deterministic).
 std::vector<CampaignResult> run_campaign(const std::vector<CampaignItem>& items,
@@ -74,7 +99,47 @@ struct Aggregate {
   double alert_fraction() const noexcept;
 };
 
-/// Reduce results into an Aggregate.
+/// Mergeable aggregate state: exact integer counters plus Welford moment
+/// accumulators. The single reduction implementation behind both
+/// aggregate() and run_campaign_streaming(), so the two can never drift.
+class AggregateAccumulator {
+ public:
+  /// Fold one simulation outcome in.
+  void add(const sim::SimulationSummary& summary);
+
+  /// Fold another accumulator in (parallel/chunked reduction).
+  void merge(const AggregateAccumulator& other);
+
+  /// Finalize into the row the tables render.
+  Aggregate finish() const;
+
+ private:
+  Aggregate agg_;  ///< counter fields only; means/stds filled by finish()
+  util::RunningStats invasion_rate_;
+  util::RunningStats tth_;
+};
+
+/// Reduce results into an Aggregate (chunked exactly like the streaming
+/// runner, so both produce bit-identical statistics).
 Aggregate aggregate(const std::vector<CampaignResult>& results);
+
+/// Streaming progress snapshot, delivered after every finished chunk.
+struct CampaignProgress {
+  std::size_t completed = 0;  ///< simulations finished so far
+  std::size_t total = 0;      ///< grid size
+};
+using CampaignProgressFn = std::function<void(const CampaignProgress&)>;
+
+/// Run every item WITHOUT materializing per-item results: items are
+/// submitted in kCampaignChunk-sized tasks, each task folds its outcomes
+/// into its own cache-line-padded accumulator, and the partials are merged
+/// in chunk order at the end. Memory stays O(items / kCampaignChunk)
+/// accumulators (~64 B each) instead of O(items) summaries, the returned
+/// Aggregate is bit-identical to aggregate(run_campaign(items, config)) at
+/// any thread count, and @p progress (may be empty; called under a lock)
+/// enables live output for hour-long paper-scale campaigns.
+Aggregate run_campaign_streaming(const std::vector<CampaignItem>& items,
+                                 const CampaignConfig& config,
+                                 const CampaignProgressFn& progress = {});
 
 }  // namespace scaa::exp

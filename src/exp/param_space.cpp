@@ -13,6 +13,7 @@ namespace {
 /// Run one simulation with an optional forced attack window; returns the
 /// realized (start, duration, hazardous) triple.
 ParamSpacePoint run_point(const ParamSpaceConfig& cfg,
+                          const WorldAssets& assets,
                           attack::StrategyKind strategy, double forced_start,
                           double forced_duration, std::uint64_t seed) {
   CampaignItem item;
@@ -24,7 +25,7 @@ ParamSpacePoint run_point(const ParamSpaceConfig& cfg,
   item.initial_gap = cfg.initial_gap;
   item.seed = seed;
 
-  sim::WorldConfig wc = world_config_for(item);
+  sim::WorldConfig wc = world_config_for(item, assets);
   wc.attack.strategy_params.forced_start = forced_start;
   wc.attack.strategy_params.forced_duration = forced_duration;
 
@@ -82,12 +83,13 @@ std::vector<ParamSpacePoint> run_param_space(const ParamSpaceConfig& cfg) {
   }
 
   std::vector<ParamSpacePoint> points(jobs.size());
+  const WorldAssets assets = WorldAssets::make_default();
   ThreadPool pool(cfg.threads);
   for (std::size_t i = 0; i < jobs.size(); ++i) {
-    pool.submit([&cfg, &jobs, &points, i] {
+    pool.submit([&cfg, &assets, &jobs, &points, i] {
       const Job& job = jobs[i];
-      points[i] =
-          run_point(cfg, job.strategy, job.start, job.duration, job.seed);
+      points[i] = run_point(cfg, assets, job.strategy, job.start, job.duration,
+                            job.seed);
     });
   }
   pool.wait_idle();

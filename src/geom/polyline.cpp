@@ -18,15 +18,32 @@ Polyline::Polyline(std::vector<Vec2> points) : pts_(std::move(points)) {
       throw std::invalid_argument("Polyline: duplicate consecutive points");
     cum_[i] = cum_[i - 1] + seg;
   }
+  // Precompute per-segment tangent headings: heading_at() is the hottest
+  // query of the simulation loop (road tracking for every vehicle, every
+  // tick), and atan2 per call dominated its cost.
+  headings_.resize(pts_.size() - 1);
+  for (std::size_t i = 0; i + 1 < pts_.size(); ++i) {
+    const Vec2 d = pts_[i + 1] - pts_[i];
+    headings_[i] = std::atan2(d.y, d.x);
+  }
+  inv_mean_seg_ = static_cast<double>(pts_.size() - 1) / length();
 }
 
 std::size_t Polyline::segment_index(double s) const noexcept {
-  // Find i such that cum_[i] <= s < cum_[i+1].
-  const auto it = std::upper_bound(cum_.begin(), cum_.end(), s);
-  auto idx = static_cast<std::size_t>(it - cum_.begin());
-  if (idx == 0) return 0;
-  if (idx >= cum_.size()) return cum_.size() - 2;
-  return idx - 1;
+  // Find i such that cum_[i] <= s < cum_[i+1] (same contract as the old
+  // upper_bound search). The builder tessellates at near-uniform spacing,
+  // so a scaled guess plus a short monotone walk replaces the binary
+  // search; the walk terminates at the identical index.
+  const std::size_t last = pts_.size() - 2;
+  std::size_t i = 0;
+  const double guess = s * inv_mean_seg_;
+  if (guess >= static_cast<double>(last))
+    i = last;
+  else if (guess > 0.0)
+    i = static_cast<std::size_t>(guess);
+  while (i < last && cum_[i + 1] <= s) ++i;
+  while (i > 0 && cum_[i] > s) --i;
+  return i;
 }
 
 Vec2 Polyline::position_at(double s) const noexcept {
@@ -44,9 +61,7 @@ double Polyline::heading_at(double s) const noexcept {
   double sc = s;
   if (sc < 0.0) sc = 0.0;
   if (sc >= length()) sc = length() - 1e-9;
-  const std::size_t i = segment_index(sc);
-  const Vec2 d = pts_[i + 1] - pts_[i];
-  return std::atan2(d.y, d.x);
+  return headings_[segment_index(sc)];
 }
 
 Polyline::Projection Polyline::project(Vec2 p, double hint_s) const noexcept {

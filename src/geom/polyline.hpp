@@ -52,7 +52,9 @@ class Polyline {
   std::size_t segment_index(double s) const noexcept;
 
   std::vector<Vec2> pts_;
-  std::vector<double> cum_;  ///< cum_[i] = arc length at pts_[i]
+  std::vector<double> cum_;       ///< cum_[i] = arc length at pts_[i]
+  std::vector<double> headings_;  ///< per-segment tangent heading [rad]
+  double inv_mean_seg_ = 0.0;     ///< segments / length (index guess)
 };
 
 }  // namespace scaa::geom

@@ -7,7 +7,11 @@
 namespace scaa::panda {
 
 PandaSafety::PandaSafety(const can::Database& db, PandaLimits limits)
-    : db_(&db), limits_(limits), parser_(db) {}
+    : limits_(limits),
+      parser_(db),
+      steer_angle_sig_(
+          db.signal_handle("STEERING_CONTROL", can::sig::kSteerAngleCmd)),
+      accel_sig_(db.signal_handle("GAS_BRAKE_COMMAND", can::sig::kAccelCmd)) {}
 
 bool PandaSafety::check(const can::CanFrame& frame) {
   if (frame.id != can::msg_id::kSteeringControl &&
@@ -15,15 +19,15 @@ bool PandaSafety::check(const can::CanFrame& frame) {
     return true;  // only command frames are policed
 
   ++stats_.frames_checked;
-  const auto parsed = parser_.parse(frame);
-  if (!parsed.has_value() || !parsed->checksum_ok) {
+  const auto* parsed = parser_.parse_flat(frame);
+  if (parsed == nullptr || !parsed->checksum_ok) {
     ++stats_.checksum_rejects;
     ++stats_.frames_blocked;
     return false;
   }
 
   if (frame.id == can::msg_id::kSteeringControl) {
-    const double angle_deg = parsed->values.at(can::sig::kSteerAngleCmd);
+    const double angle_deg = parsed->values[steer_angle_sig_.signal];
     bool ok = std::abs(angle_deg) <= limits_.max_steer_deg;
     if (ok && has_last_steer_)
       ok = std::abs(angle_deg - last_steer_deg_) <= limits_.max_steer_rate_deg;
@@ -37,7 +41,7 @@ bool PandaSafety::check(const can::CanFrame& frame) {
   }
 
   // GAS_BRAKE_COMMAND
-  const double accel = parsed->values.at(can::sig::kAccelCmd);
+  const double accel = parsed->values[accel_sig_.signal];
   if (accel >= limits_.min_accel && accel <= limits_.max_accel) return true;
   ++stats_.frames_blocked;
   return false;

@@ -55,10 +55,13 @@ class PandaSafety {
   const PandaLimits& limits() const noexcept { return limits_; }
 
  private:
-  const can::Database* db_;
   PandaLimits limits_;
   PandaStats stats_;
   can::CanParser parser_;
+  // Signal indices resolved once so check() runs the allocation-free
+  // flat parse path (firmware has no heap either).
+  can::SignalHandle steer_angle_sig_;
+  can::SignalHandle accel_sig_;
   bool has_last_steer_ = false;
   double last_steer_deg_ = 0.0;
 };

@@ -48,59 +48,73 @@ double trailing_accel(double gap, double own_speed, double ego_speed) {
 
 World::World(WorldConfig config)
     : config_(std::move(config)),
-      road_(road::RoadBuilder::paper_road()),
-      db_(can::Database::simulated_car()) {
-  const auto& profile = road_.profile();
+      road_(config_.road ? config_.road
+                         : std::make_shared<const road::Road>(
+                               road::RoadBuilder::paper_road())),
+      db_(config_.db ? config_.db
+                     : std::make_shared<const can::Database>(
+                           can::Database::simulated_car())) {
+  const road::Road& road = *road_;
+  const can::Database& db = *db_;
+  const auto& profile = road.profile();
+  lane0_center_ = profile.lane_center(0);
+  lane1_center_ = profile.lane_center(1);
   util::Rng rng(config_.seed);
 
   // --- actors -----------------------------------------------------------
   // Ego starts in the right lane (lane 0, nearer the right guardrail).
   const double ego_s0 = 30.0;
-  const double lane0 = profile.lane_center(0);
-  ego_ = std::make_unique<vehicle::Vehicle>(road_, config_.ego_params, ego_s0,
+  const double lane0 = lane0_center_;
+  ego_ = std::make_unique<vehicle::Vehicle>(road, config_.ego_params, ego_s0,
                                             lane0, config_.scenario.ego_speed);
 
   vehicle::VehicleParams traffic_params = config_.ego_params;
   const double lead_s0 = ego_s0 + config_.scenario.initial_gap +
                          config_.ego_params.length;  // bumper gap -> centers
   lead_ = std::make_unique<vehicle::Vehicle>(
-      road_, traffic_params, lead_s0, lane0,
+      road, traffic_params, lead_s0, lane0,
       config_.scenario.lead.initial_speed);
 
   if (config_.scenario.with_trailing) {
     trailing_ = std::make_unique<vehicle::Vehicle>(
-        road_, traffic_params,
+        road, traffic_params,
         ego_s0 - config_.scenario.trailing_gap - config_.ego_params.length,
         lane0, config_.scenario.ego_speed);
   }
   if (config_.scenario.with_neighbor) {
     neighbor_ = std::make_unique<vehicle::Vehicle>(
-        road_, traffic_params, ego_s0 + config_.scenario.neighbor_offset,
-        profile.lane_center(1), config_.scenario.ego_speed);
+        road, traffic_params, ego_s0 + config_.scenario.neighbor_offset,
+        lane1_center_, config_.scenario.ego_speed);
   }
 
   // --- sensors -----------------------------------------------------------
   gps_ = std::make_unique<sensors::GpsModel>(msg_bus_, config_.gps,
                                              rng.fork(11));
   camera_ = std::make_unique<sensors::CameraLaneModel>(
-      msg_bus_, road_, config_.camera, rng.fork(12));
+      msg_bus_, road, config_.camera, rng.fork(12));
   radar_ = std::make_unique<sensors::RadarModel>(msg_bus_, config_.radar,
                                                  rng.fork(13));
 
   // --- car gateway: decodes command frames into actuator requests --------
-  gateway_parser_ = std::make_unique<can::CanParser>(db_);
+  // Handles resolved here, once; the receiver then decodes every frame
+  // through the flat path (no heap, no string keys) at 100 Hz.
+  gateway_parser_ = std::make_unique<can::CanParser>(db);
+  gateway_steer_sig_ =
+      db.signal_handle("STEERING_CONTROL", can::sig::kSteerAngleCmd);
+  gateway_accel_sig_ =
+      db.signal_handle("GAS_BRAKE_COMMAND", can::sig::kAccelCmd);
   can_bus_.attach_receiver([this](const can::CanFrame& frame) {
-    const auto parsed = gateway_parser_->parse(frame);
-    if (!parsed.has_value()) return;
+    const auto* parsed = gateway_parser_->parse_flat(frame);
+    if (parsed == nullptr) return;
     if (!parsed->checksum_ok) {
       ++gateway_rejects_;
       return;  // the actuator ECU discards tampered frames
     }
     if (frame.id == can::msg_id::kSteeringControl) {
       gateway_steer_cmd_ =
-          units::deg_to_rad(parsed->values.at(can::sig::kSteerAngleCmd));
+          units::deg_to_rad(parsed->values[gateway_steer_sig_.signal]);
     } else if (frame.id == can::msg_id::kGasBrakeCommand) {
-      gateway_accel_cmd_ = parsed->values.at(can::sig::kAccelCmd);
+      gateway_accel_cmd_ = parsed->values[gateway_accel_sig_.signal];
     }
   });
 
@@ -112,7 +126,7 @@ World::World(WorldConfig config)
     attack::AttackConfig atk = config_.attack;
     atk.cruise_speed = config_.scenario.cruise_speed;
     attack_engine_ = std::make_unique<attack::AttackEngine>(
-        atk, msg_bus_, can_bus_, db_, config_.ego_params.half_width(),
+        atk, msg_bus_, can_bus_, db, config_.ego_params.half_width(),
         rng.fork(14));
   }
 
@@ -121,14 +135,14 @@ World::World(WorldConfig config)
   // what the firmware checks would have blocked. Attached after the
   // attacker, it polices the frames the actuators actually receive.
   if (config_.panda_enforced) {
-    panda_ = std::make_unique<panda::PandaSafety>(db_, panda::PandaLimits{});
+    panda_ = std::make_unique<panda::PandaSafety>(db, panda::PandaLimits{});
     panda_->attach(can_bus_);
   }
 
   // --- ADAS ----------------------------------------------------------------
   adas::ControlsConfig cc = config_.controls;
   cc.cruise_speed = config_.scenario.cruise_speed;
-  controls_ = std::make_unique<adas::Controls>(msg_bus_, can_bus_, db_, cc,
+  controls_ = std::make_unique<adas::Controls>(msg_bus_, can_bus_, db, cc,
                                                config_.ego_params,
                                                rng.fork(16));
 
@@ -138,7 +152,7 @@ World::World(WorldConfig config)
   // --- driver & monitor ----------------------------------------------------
   driver_ = std::make_unique<driver::DriverModel>(
       config_.driver, config_.ego_params.wheelbase);
-  monitor_ = std::make_unique<SafetyMonitor>(road_, config_.monitor,
+  monitor_ = std::make_unique<SafetyMonitor>(road, config_.monitor,
                                              /*ego_lane=*/0);
 }
 
@@ -150,14 +164,14 @@ const vehicle::VehicleState& World::ego_state() const noexcept {
 
 void World::step_traffic() {
   const double dt = config_.dt;
-  const double lane0 = road_.profile().lane_center(0);
-  const double lane1 = road_.profile().lane_center(1);
+  const road::Road& road = *road_;
   const auto wheelbase = config_.ego_params.wheelbase;
 
   {
     vehicle::ActuatorCommand cmd;
     cmd.accel = lead_accel(config_.scenario.lead, time_, lead_->state().speed);
-    cmd.steer_angle = tracking_steer(road_, lead_->state(), lane0, wheelbase);
+    cmd.steer_angle =
+        tracking_steer(road, lead_->state(), lane0_center_, wheelbase);
     lead_->step(cmd, dt);
   }
   if (trailing_) {
@@ -168,7 +182,7 @@ void World::step_traffic() {
     cmd.accel =
         trailing_accel(gap, trailing_->state().speed, ego_->state().speed);
     cmd.steer_angle =
-        tracking_steer(road_, trailing_->state(), lane0, wheelbase);
+        tracking_steer(road, trailing_->state(), lane0_center_, wheelbase);
     trailing_->step(cmd, dt);
   }
   if (neighbor_) {
@@ -183,7 +197,7 @@ void World::step_traffic() {
             0.05 * (desired_s - neighbor_->state().s),
         -4.0, 2.0);
     cmd.steer_angle =
-        tracking_steer(road_, neighbor_->state(), lane1, wheelbase);
+        tracking_steer(road, neighbor_->state(), lane1_center_, wheelbase);
     neighbor_->step(cmd, dt);
   }
 }
@@ -194,7 +208,7 @@ void World::publish_sensors() {
 
   // The camera anchors to whatever lane the car currently occupies (lane
   // re-lock after a departure), holding the last lane when off-road.
-  const int lane_now = road_.lane_at(ego.d);
+  const int lane_now = road_->lane_at(ego.d);
   if (lane_now >= 0) camera_lane_ = static_cast<std::size_t>(lane_now);
   camera_->step(step_index_, ego, camera_lane_);
 
@@ -232,19 +246,23 @@ bool World::step() {
 
   // Driver observation & possible takeover. The driver judges the commands
   // the car is executing (pedal/wheel positions) and the physical motion.
+  // Road queries at the Ego's arc length are looked up once per step and
+  // reused (each one is a polyline segment search).
+  const double ego_s = ego_->state().s;
+  const double road_curvature = road_->curvature_at(ego_s);
+  const double road_heading = road_->heading_at(ego_s);
   driver::DriverObservation obs;
   obs.adas_alert = controls_->alerts().any_active();
   obs.accel_cmd = gateway_accel_cmd_;
   obs.steer_cmd = gateway_steer_cmd_;
-  obs.nominal_steer = std::atan(config_.ego_params.wheelbase *
-                                road_.curvature_at(ego_->state().s));
+  obs.nominal_steer =
+      std::atan(config_.ego_params.wheelbase * road_curvature);
   obs.speed = ego_->state().speed;
   obs.cruise_speed = config_.scenario.cruise_speed;
-  obs.center_offset =
-      ego_->state().d - road_.profile().lane_center(0);
-  obs.heading_error = math::wrap_angle(road_.heading_at(ego_->state().s) -
-                                       ego_->state().pose.heading);
-  obs.road_curvature = road_.curvature_at(ego_->state().s);
+  obs.center_offset = ego_->state().d - lane0_center_;
+  obs.heading_error =
+      math::wrap_angle(road_heading - ego_->state().pose.heading);
+  obs.road_curvature = road_curvature;
   if (lead_) {
     const double gap = vehicle::bumper_gap(ego_->state(), ego_->params(),
                                            lead_->state(), lead_->params());
@@ -313,7 +331,7 @@ bool World::step() {
 
 void World::record(Trace* trace, const vehicle::ActuatorCommand& cmd) {
   if (trace == nullptr) return;
-  const auto& profile = road_.profile();
+  const auto& profile = road_->profile();
   TraceRow row;
   row.time = time_;
   row.ego_s = ego_->state().s;

@@ -47,6 +47,12 @@ struct WorldConfig {
   double duration = 50.0;  ///< [s] 5000 steps
   double dt = 0.01;        ///< [s] 100 Hz
 
+  /// Immutable world assets, shareable across many Worlds. Campaigns build
+  /// the road and DBC once and hand the same instances to thousands of
+  /// simulations; when null, the World builds its own private copies.
+  std::shared_ptr<const road::Road> road;
+  std::shared_ptr<const can::Database> db;
+
   vehicle::VehicleParams ego_params;
   adas::ControlsConfig controls;
   sensors::GpsConfig gps;
@@ -113,7 +119,7 @@ class World {
   /// --- state access (valid between construction and end of run) ---
   double time() const noexcept { return time_; }
   const vehicle::VehicleState& ego_state() const noexcept;
-  const road::Road& road() const noexcept { return road_; }
+  const road::Road& road() const noexcept { return *road_; }
   const SafetyMonitor& monitor() const noexcept { return *monitor_; }
   const adas::Controls& controls() const noexcept { return *controls_; }
   const attack::AttackEngine* attack_engine() const noexcept {
@@ -132,7 +138,7 @@ class World {
   can::CanBus& can() noexcept { return can_bus_; }
 
   /// The DBC database of the simulated car.
-  const can::Database& dbc() const noexcept { return db_; }
+  const can::Database& dbc() const noexcept { return *db_; }
 
  private:
   void step_traffic();
@@ -141,8 +147,8 @@ class World {
   void record(Trace* trace, const vehicle::ActuatorCommand& cmd);
 
   WorldConfig config_;
-  road::Road road_;
-  can::Database db_;
+  std::shared_ptr<const road::Road> road_;  ///< shared or privately owned
+  std::shared_ptr<const can::Database> db_;
 
   msg::PubSubBus msg_bus_;
   can::CanBus can_bus_;
@@ -168,6 +174,14 @@ class World {
   double gateway_steer_cmd_ = 0.0;
   std::uint64_t gateway_rejects_ = 0;
   std::size_t camera_lane_ = 0;  ///< lane the camera is currently locked to
+
+  // Resolved once: gateway decode runs the flat (allocation-free) path.
+  can::SignalHandle gateway_steer_sig_;
+  can::SignalHandle gateway_accel_sig_;
+
+  // Constant lane geometry, hoisted out of the step loop.
+  double lane0_center_ = 0.0;
+  double lane1_center_ = 0.0;
 
   util::Rng env_rng_{0};
   double steer_disturbance_ = 0.0;

@@ -1,0 +1,18 @@
+#pragma once
+
+/// @file stopwatch.hpp
+/// Minimal wall-clock helpers for benchmark and progress reporting.
+
+#include <chrono>
+
+namespace scaa::util {
+
+/// Elapsed seconds since @p start (steady clock).
+inline double seconds_since(
+    std::chrono::steady_clock::time_point start) noexcept {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+}  // namespace scaa::util

@@ -87,6 +87,76 @@ TEST(Campaign, RunnerDeterministicAcrossThreadCounts) {
   }
 }
 
+TEST(Campaign, StreamingMatchesVectorPathBitExactly) {
+  // The streaming runner must produce the same Aggregate as materializing
+  // every result and reducing it — including the floating-point moments —
+  // at any thread count (the chunked reduction order is fixed). The grid
+  // must span several chunks (kCampaignChunk = 64) so the cross-chunk
+  // merge order is actually exercised, not just a single accumulator.
+  auto grid = exp::make_grid(attack::StrategyKind::kContextAware, true, true,
+                             2, 11);
+  grid.resize(2 * exp::kCampaignChunk + 2);
+  exp::CampaignConfig cc;
+  cc.threads = 4;
+  const auto vector_agg = exp::aggregate(exp::run_campaign(grid, cc));
+
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{8}}) {
+    exp::CampaignConfig scc;
+    scc.threads = threads;
+    const auto streamed = exp::run_campaign_streaming(grid, scc);
+    EXPECT_EQ(streamed.simulations, vector_agg.simulations);
+    EXPECT_EQ(streamed.sims_with_alerts, vector_agg.sims_with_alerts);
+    EXPECT_EQ(streamed.sims_with_hazards, vector_agg.sims_with_hazards);
+    EXPECT_EQ(streamed.sims_with_accidents, vector_agg.sims_with_accidents);
+    EXPECT_EQ(streamed.hazards_without_alerts,
+              vector_agg.hazards_without_alerts);
+    EXPECT_EQ(streamed.fcw_activations, vector_agg.fcw_activations);
+    EXPECT_DOUBLE_EQ(streamed.lane_invasion_rate_mean,
+                     vector_agg.lane_invasion_rate_mean);
+    EXPECT_DOUBLE_EQ(streamed.tth_mean, vector_agg.tth_mean);
+    EXPECT_DOUBLE_EQ(streamed.tth_std, vector_agg.tth_std);
+  }
+}
+
+TEST(Campaign, StreamingReportsMonotonicProgress) {
+  auto grid = exp::make_grid(attack::StrategyKind::kNone, false, true, 1, 3);
+  grid.resize(6);
+  exp::CampaignConfig cc;
+  cc.threads = 2;
+  std::vector<exp::CampaignProgress> seen;
+  exp::run_campaign_streaming(grid, cc,
+                              [&seen](const exp::CampaignProgress& p) {
+                                seen.push_back(p);
+                              });
+  ASSERT_FALSE(seen.empty());
+  for (std::size_t i = 1; i < seen.size(); ++i)
+    EXPECT_GT(seen[i].completed, seen[i - 1].completed);
+  EXPECT_EQ(seen.back().completed, grid.size());
+  EXPECT_EQ(seen.back().total, grid.size());
+}
+
+TEST(Campaign, SharedAssetsMatchPrivatelyBuiltWorlds) {
+  // A World running on campaign-shared road/DBC must behave identically to
+  // one that built its own (the assets are immutable and identical).
+  exp::CampaignItem item;
+  item.strategy = attack::StrategyKind::kContextAware;
+  item.type = attack::AttackType::kSteeringLeft;
+  item.seed = 77;
+  const auto assets = exp::WorldAssets::make_default();
+
+  sim::World owned(exp::world_config_for(item));
+  sim::World shared(exp::world_config_for(item, assets));
+  const auto a = owned.run();
+  const auto b = shared.run();
+  EXPECT_EQ(a.any_hazard, b.any_hazard);
+  EXPECT_DOUBLE_EQ(a.first_hazard_time, b.first_hazard_time);
+  EXPECT_EQ(a.any_accident, b.any_accident);
+  EXPECT_EQ(a.alert_events, b.alert_events);
+  EXPECT_EQ(a.lane_invasions, b.lane_invasions);
+  EXPECT_DOUBLE_EQ(a.sim_end_time, b.sim_end_time);
+  EXPECT_EQ(a.frames_corrupted, b.frames_corrupted);
+}
+
 TEST(Aggregate, CountsAndFractions) {
   std::vector<exp::CampaignResult> results(4);
   results[0].summary.any_hazard = true;
