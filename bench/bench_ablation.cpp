@@ -20,9 +20,11 @@ namespace {
 
 exp::Aggregate run_config(attack::StrategyKind kind, bool strategic, int reps,
                           std::size_t threads, double reaction_time) {
-  auto grid = exp::make_grid(kind, strategic, /*driver=*/true, reps, 4242);
   exp::CampaignConfig cc;
   cc.threads = threads;
+  cc.base_seed = 4242;
+  cc.repetitions = reps;
+  auto grid = exp::make_grid(kind, strategic, /*driver=*/true, cc);
   // Apply the reaction-time override by running items manually.
   std::vector<exp::CampaignResult> results(grid.size());
   exp::ThreadPool pool(threads);

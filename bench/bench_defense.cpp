@@ -30,10 +30,17 @@ struct DefenseAggregate {
   util::RunningStats monitor_latency;
 };
 
+exp::CampaignConfig defense_config(int reps) {
+  exp::CampaignConfig cc;
+  cc.base_seed = 31337;
+  cc.repetitions = reps;
+  return cc;
+}
+
 DefenseAggregate evaluate(attack::StrategyKind strategy, bool strategic,
                           int reps, std::size_t threads) {
   const auto grid = exp::make_grid(strategy, strategic, /*driver=*/true,
-                                   reps, 31337);
+                                   defense_config(reps));
   DefenseAggregate agg;
   std::mutex mutex;
   exp::ThreadPool pool(threads);
@@ -66,9 +73,8 @@ DefenseAggregate evaluate(attack::StrategyKind strategy, bool strategic,
   return agg;
 }
 
-std::size_t count_false_positives(int reps, std::size_t threads) {
-  const auto grid = exp::make_grid(attack::StrategyKind::kNone, false, true,
-                                   reps, 31337);
+std::size_t count_false_positives(const std::vector<exp::CampaignItem>& grid,
+                                  std::size_t threads) {
   std::size_t false_positives = 0;
   std::mutex mutex;
   exp::ThreadPool pool(threads);
@@ -137,9 +143,10 @@ int main(int argc, char** argv) {
   }
   std::printf("%s\n", table.render().c_str());
 
-  const auto grid_size = exp::make_grid(attack::StrategyKind::kNone, false,
-                                        true, reps, 31337).size();
-  const auto fp = count_false_positives(reps, threads);
+  const auto benign_grid = exp::make_grid(attack::StrategyKind::kNone, false,
+                                          true, defense_config(reps));
+  const auto grid_size = benign_grid.size();
+  const auto fp = count_false_positives(benign_grid, threads);
   std::printf("False positives on %zu attack-free drives: %zu (%.2f%%)\n\n",
               grid_size, fp, 100.0 * static_cast<double>(fp) /
                                  static_cast<double>(grid_size));

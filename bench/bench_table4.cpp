@@ -32,13 +32,14 @@ int main(int argc, char** argv) {
 
   exp::CampaignConfig cc;
   cc.threads = threads;
+  cc.base_seed = 2022;
+  cc.repetitions = reps;
 
   std::map<attack::StrategyKind, exp::Aggregate> per_strategy;
   std::uint64_t fcw_total = 0;
   for (const cli::Table4Strategy& row : cli::table4_strategies()) {
-    const auto grid =
-        exp::make_grid(row.kind, row.strategic, /*driver=*/true,
-                       reps * row.rep_multiplier, /*base_seed=*/2022);
+    const auto grid = exp::make_grid(row.kind, row.strategic, /*driver=*/true,
+                                     cc, reps * row.rep_multiplier);
     const auto results = exp::run_campaign(grid, cc);
     const auto agg = exp::aggregate(results);
     fcw_total += agg.fcw_activations;

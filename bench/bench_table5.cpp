@@ -28,10 +28,12 @@ int main(int argc, char** argv) {
 
   exp::CampaignConfig cc;
   cc.threads = threads;
+  cc.base_seed = 2022;
+  cc.repetitions = reps;
   const auto kind = attack::StrategyKind::kContextAware;
 
   auto run = [&](bool strategic, bool driver) {
-    const auto grid = exp::make_grid(kind, strategic, driver, reps, 2022);
+    const auto grid = exp::make_grid(kind, strategic, driver, cc);
     return exp::run_campaign(grid, cc);
   };
 

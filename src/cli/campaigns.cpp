@@ -5,10 +5,12 @@
 #include <iostream>
 #include <map>
 #include <memory>
+#include <optional>
 #include <ostream>
 
 #include "cli/args.hpp"
 #include "exp/campaign.hpp"
+#include "exp/checkpoint.hpp"
 #include "exp/param_space.hpp"
 #include "exp/tables.hpp"
 #include "sim/world.hpp"
@@ -24,20 +26,69 @@ void note(std::ostream* progress, const std::string& line) {
   if (progress) *progress << line << "\n" << std::flush;
 }
 
-/// Live per-chunk progress for the streaming runner: prints a status line
-/// whenever the campaign crosses another 10% of its grid.
-exp::CampaignProgressFn decile_progress(std::ostream* out,
-                                        const std::string& tag) {
-  if (out == nullptr) return {};
-  auto last_decile = std::make_shared<int>(-1);
-  return [out, tag, last_decile](const exp::CampaignProgress& p) {
-    if (p.total == 0) return;
-    const int decile = static_cast<int>(10 * p.completed / p.total);
-    if (decile == *last_decile || p.completed == p.total) return;
-    *last_decile = decile;
-    *out << "[" << tag << "] " << p.completed << "/" << p.total << " sims\n"
-         << std::flush;
-  };
+/// The single options -> CampaignConfig mapping: every campaign entry
+/// point goes through here, so a future config knob cannot be wired in one
+/// subcommand and silently dropped in another.
+exp::CampaignConfig campaign_config(const CampaignOptions& options) {
+  exp::CampaignConfig cc;
+  cc.threads = options.threads;
+  cc.base_seed = options.seed;
+  cc.repetitions = options.reps;
+  return cc;
+}
+
+/// Likewise for the Fig 8 sweep: fig8_report and bench --campaign fig8
+/// must time the identical workload.
+exp::ParamSpaceConfig fig8_config(const CampaignOptions& options) {
+  exp::ParamSpaceConfig cfg;
+  cfg.threads = options.threads;
+  cfg.base_seed = options.seed;
+  cfg.overlay_runs = 20 * options.reps;  // paper: 20 runs per overlay strategy
+  return cfg;
+}
+
+/// Filesystem-safe slice token: "Random-ST+DUR" -> "random-st-dur".
+std::string slice_slug(const std::string& name) {
+  std::string slug;
+  slug.reserve(name.size());
+  for (const char c : name) {
+    if ((c >= 'a' && c <= 'z') || (c >= '0' && c <= '9')) {
+      slug += c;
+    } else if (c >= 'A' && c <= 'Z') {
+      slug += static_cast<char>(c - 'A' + 'a');
+    } else if (!slug.empty() && slug.back() != '-') {
+      slug += '-';
+    }
+  }
+  while (!slug.empty() && slug.back() == '-') slug.pop_back();
+  return slug;
+}
+
+/// Per-slice checkpoint file: multi-campaign subcommands (table4 runs five
+/// strategies, table5 four slices) keep one file per grid under the user's
+/// --checkpoint stem, because each grid has its own fingerprint.
+std::string checkpoint_path(const CampaignOptions& options,
+                            const std::string& slice) {
+  return options.checkpoint + "." + slice_slug(slice);
+}
+
+/// Open the checkpoint for one slice (Checkpoint selects the mode:
+/// exp::CampaignCheckpoint for streaming aggregates, exp::ResultsCheckpoint
+/// for table5's per-item pairing); null when checkpointing is off. Notes
+/// restored progress so a resumed run says where it picks up from.
+template <class Checkpoint>
+std::unique_ptr<Checkpoint> open_checkpoint(
+    const CampaignOptions& options, const std::string& slice,
+    const std::vector<exp::CampaignItem>& grid, std::ostream* progress) {
+  if (options.checkpoint.empty()) return nullptr;
+  auto ckpt = std::make_unique<Checkpoint>(checkpoint_path(options, slice),
+                                           grid, options.resume);
+  if (ckpt->completed_items() > 0)
+    note(progress, "[" + slice + "] resuming: " +
+                       std::to_string(ckpt->completed_items()) + "/" +
+                       std::to_string(grid.size()) +
+                       " sims restored from checkpoint");
+  return ckpt;
 }
 
 /// Run one Table IV strategy through the streaming runner. The single
@@ -47,6 +98,7 @@ exp::CampaignProgressFn decile_progress(std::ostream* out,
 struct StrategyRun {
   exp::Aggregate agg;
   double wall_s = 0.0;
+  std::size_t fresh_sims = 0;  ///< simulations actually run (not restored)
 };
 
 StrategyRun run_table4_strategy(const Table4Strategy& row,
@@ -54,21 +106,44 @@ StrategyRun run_table4_strategy(const Table4Strategy& row,
                                 const exp::CampaignConfig& cc,
                                 std::ostream* progress,
                                 const std::string& tag) {
+  const std::string slice = tag + " " + to_string(row.kind);
   const auto grid =
-      exp::make_grid(row.kind, row.strategic, /*driver_enabled=*/true,
-                     options.reps * row.rep_multiplier, options.seed);
+      exp::make_grid(row.kind, row.strategic, /*driver_enabled=*/true, cc,
+                     options.reps * row.rep_multiplier);
+  const auto checkpoint = open_checkpoint<exp::CampaignCheckpoint>(
+      options, slice, grid, progress);
   const auto start = std::chrono::steady_clock::now();
   // Streaming runner: O(threads) live memory instead of one result per
   // simulation, with per-chunk progress while the grid drains.
   StrategyRun run;
-  run.agg = exp::run_campaign_streaming(
-      grid, cc,
-      decile_progress(progress, tag + " " + to_string(row.kind)));
+  run.fresh_sims =
+      grid.size() - (checkpoint ? checkpoint->completed_items() : 0);
+  run.agg = exp::run_campaign_streaming(grid, cc,
+                                        decile_progress(progress, slice),
+                                        checkpoint.get());
   run.wall_s = util::seconds_since(start);
   return run;
 }
 
 }  // namespace
+
+exp::CampaignProgressFn decile_progress(std::ostream* out,
+                                        const std::string& tag) {
+  if (out == nullptr) return {};
+  auto last_decile = std::make_shared<int>(-1);
+  return [out, tag, last_decile](const exp::CampaignProgress& p) {
+    if (p.total == 0 || p.completed == 0) return;
+    const int decile = static_cast<int>(10 * p.completed / p.total);
+    // Print only when a new decile is crossed, and track the latest one so
+    // a chunk that crosses several deciles emits a single line. completed
+    // == total lands in decile 10, so the 100% line prints exactly once —
+    // including for campaigns that finish within one chunk.
+    if (decile <= *last_decile) return;
+    *last_decile = decile;
+    *out << "[" << tag << "] " << p.completed << "/" << p.total << " sims\n"
+         << std::flush;
+  };
+}
 
 const std::vector<Table4Strategy>& table4_strategies() {
   // Paper Table III: Random-ST+DUR uses 10x repetitions (14,400 sims) for
@@ -84,8 +159,7 @@ const std::vector<Table4Strategy>& table4_strategies() {
 }
 
 Report table4_report(const CampaignOptions& options, std::ostream* progress) {
-  exp::CampaignConfig cc;
-  cc.threads = options.threads;
+  const exp::CampaignConfig cc = campaign_config(options);
 
   Report report("Table IV: attack strategy comparison with an alert driver",
                 {"strategy", "simulations", "sims_with_alerts",
@@ -107,24 +181,26 @@ Report table4_report(const CampaignOptions& options, std::ostream* progress) {
 }
 
 Report table5_report(const CampaignOptions& options, std::ostream* progress) {
-  exp::CampaignConfig cc;
-  cc.threads = options.threads;
+  const exp::CampaignConfig cc = campaign_config(options);
   const auto kind = attack::StrategyKind::kContextAware;
 
-  auto run = [&](bool strategic, bool driver) {
-    const auto grid =
-        exp::make_grid(kind, strategic, driver, options.reps, options.seed);
-    return exp::run_campaign(grid, cc);
+  // Table V pairs driver-on with driver-off per item, so each slice runs
+  // through the materializing path with a per-item results checkpoint.
+  auto run = [&](bool strategic, bool driver, const std::string& slice) {
+    const auto grid = exp::make_grid(kind, strategic, driver, cc);
+    const auto checkpoint = open_checkpoint<exp::ResultsCheckpoint>(
+        options, slice, grid, progress);
+    return exp::run_campaign(grid, cc, checkpoint.get());
   };
 
   note(progress, "[table5] fixed values, driver on...");
-  const auto fixed_on = run(false, true);
+  const auto fixed_on = run(false, true, "table5 fixed-on");
   note(progress, "[table5] fixed values, driver off...");
-  const auto fixed_off = run(false, false);
+  const auto fixed_off = run(false, false, "table5 fixed-off");
   note(progress, "[table5] strategic values, driver on...");
-  const auto strat_on = run(true, true);
+  const auto strat_on = run(true, true, "table5 strategic-on");
   note(progress, "[table5] strategic values, driver off...");
-  const auto strat_off = run(true, false);
+  const auto strat_off = run(true, false, "table5 strategic-off");
 
   const auto fixed = exp::pair_driver_outcomes(fixed_on, fixed_off);
   const auto strategic = exp::pair_driver_outcomes(strat_on, strat_off);
@@ -154,9 +230,85 @@ Report table5_report(const CampaignOptions& options, std::ostream* progress) {
   return report;
 }
 
+namespace {
+
+/// bench --campaign table5: wall-clock per Table V slice (the four
+/// materializing campaigns), emitted as BENCH_table5.json rows.
+Report bench_table5_report(const CampaignOptions& options,
+                           std::ostream* progress) {
+  const exp::CampaignConfig cc = campaign_config(options);
+  const auto kind = attack::StrategyKind::kContextAware;
+
+  Report report("bench: Table V campaign wall-clock (materializing runner)",
+                {"slice", "simulations", "wall_s", "sims_per_s"});
+  const struct {
+    const char* slice;
+    bool strategic;
+    bool driver;
+  } slices[] = {{"fixed-on", false, true},
+                {"fixed-off", false, false},
+                {"strategic-on", true, true},
+                {"strategic-off", true, false}};
+  double total_wall = 0.0;
+  std::size_t total_sims = 0;
+  std::size_t total_fresh = 0;
+  for (const auto& s : slices) {
+    const auto grid = exp::make_grid(kind, s.strategic, s.driver, cc);
+    const auto checkpoint = open_checkpoint<exp::ResultsCheckpoint>(
+        options, std::string("bench-table5 ") + s.slice, grid, progress);
+    const auto start = std::chrono::steady_clock::now();
+    // Throughput over freshly computed sims only: restored chunks cost ~no
+    // wall-clock, and a resumed bench must not emit an inflated trajectory
+    // point.
+    const std::size_t fresh =
+        grid.size() - (checkpoint ? checkpoint->completed_items() : 0);
+    const auto results = exp::run_campaign(grid, cc, checkpoint.get());
+    const double wall = util::seconds_since(start);
+    total_wall += wall;
+    total_sims += results.size();
+    total_fresh += fresh;
+    report.add_row(
+        {std::string(s.slice), ll(results.size()), wall,
+         wall > 0.0 ? static_cast<double>(fresh) / wall : 0.0});
+    note(progress, "[bench-table5] " + std::string(s.slice) + ": " +
+                       std::to_string(fresh) + " sims in " +
+                       std::to_string(wall) + " s");
+  }
+  report.add_row(
+      {std::string("TOTAL"), ll(total_sims), total_wall,
+       total_wall > 0.0 ? static_cast<double>(total_fresh) / total_wall
+                        : 0.0});
+  return report;
+}
+
+/// bench --campaign fig8: wall-clock of the parameter-space sweep, emitted
+/// as BENCH_fig8.json rows.
+Report bench_fig8_report(const CampaignOptions& options,
+                         std::ostream* progress) {
+  const exp::ParamSpaceConfig cfg = fig8_config(options);
+
+  Report report("bench: Fig 8 parameter-space sweep wall-clock",
+                {"slice", "points", "wall_s", "points_per_s"});
+  const auto start = std::chrono::steady_clock::now();
+  const auto points = exp::run_param_space(cfg);
+  const double wall = util::seconds_since(start);
+  report.add_row(
+      {std::string("fig8"), ll(points.size()), wall,
+       wall > 0.0 ? static_cast<double>(points.size()) / wall : 0.0});
+  note(progress, "[bench-fig8] " + std::to_string(points.size()) +
+                     " points in " + std::to_string(wall) + " s");
+  return report;
+}
+
+}  // namespace
+
 Report bench_report(const CampaignOptions& options, std::ostream* progress) {
-  exp::CampaignConfig cc;
-  cc.threads = options.threads;
+  if (options.bench_campaign == "table5")
+    return bench_table5_report(options, progress);
+  if (options.bench_campaign == "fig8")
+    return bench_fig8_report(options, progress);
+
+  const exp::CampaignConfig cc = campaign_config(options);
 
   Report report(
       "bench: Table IV campaign wall-clock (streaming runner, shared assets)",
@@ -166,25 +318,31 @@ Report bench_report(const CampaignOptions& options, std::ostream* progress) {
 
   double total_wall = 0.0;
   std::size_t total_sims = 0;
+  std::size_t total_fresh = 0;
   for (const Table4Strategy& row : table4_strategies()) {
-    const auto [agg, wall] =
+    const auto [agg, wall, fresh] =
         run_table4_strategy(row, options, cc, progress, "bench");
     total_wall += wall;
     total_sims += agg.simulations;
+    total_fresh += fresh;
+    // sims_per_s counts only freshly computed sims: restored checkpoint
+    // chunks cost ~no wall-clock, and a resumed bench must not emit an
+    // inflated trajectory point (the aggregate columns still cover the
+    // full grid — that is the identity check against table4).
     report.add_row(
         {to_string(row.kind), ll(agg.simulations), wall,
-         wall > 0.0 ? static_cast<double>(agg.simulations) / wall : 0.0,
+         wall > 0.0 ? static_cast<double>(fresh) / wall : 0.0,
          ll(agg.sims_with_alerts), ll(agg.sims_with_hazards),
          ll(agg.sims_with_accidents), ll(agg.hazards_without_alerts),
          ll(agg.fcw_activations), agg.lane_invasion_rate_mean, agg.tth_mean,
          agg.tth_std});
     note(progress, "[bench] " + to_string(row.kind) + ": " +
-                       std::to_string(agg.simulations) + " sims in " +
+                       std::to_string(fresh) + " sims in " +
                        std::to_string(wall) + " s");
   }
   report.add_row(
       {std::string("TOTAL"), ll(total_sims), total_wall,
-       total_wall > 0.0 ? static_cast<double>(total_sims) / total_wall : 0.0,
+       total_wall > 0.0 ? static_cast<double>(total_fresh) / total_wall : 0.0,
        0LL, 0LL, 0LL, 0LL, 0LL, 0.0, 0.0, 0.0});
   return report;
 }
@@ -221,12 +379,7 @@ Report fig7_report(const CampaignOptions& options, std::ostream* progress) {
 }
 
 Report fig8_report(const CampaignOptions& options, std::ostream* progress) {
-  exp::ParamSpaceConfig cfg;
-  cfg.threads = options.threads;
-  cfg.base_seed = options.seed;
-  cfg.overlay_runs = 20 * options.reps;  // paper: 20 runs per overlay strategy
-
-  const auto points = exp::run_param_space(cfg);
+  const auto points = exp::run_param_space(fig8_config(options));
 
   Report report(
       "Fig 8: attack start time x duration parameter space (Acceleration)",
@@ -253,9 +406,9 @@ const std::vector<CampaignCommand>& campaign_commands() {
        "attack-free Ego trajectory (imperfect lane centering)", &fig7_report},
       {"fig8", "Fig. 8",
        "attack start time x duration parameter space", &fig8_report},
-      {"bench", "Table IV, timed",
-       "end-to-end campaign wall-clock benchmark (emits BENCH_table4.json "
-       "rows)",
+      {"bench", "Tables IV/V + Fig. 8, timed",
+       "end-to-end campaign wall-clock benchmark (--campaign "
+       "table4|table5|fig8 emits BENCH_<campaign>.json rows)",
        &bench_report},
   };
   return kCommands;
@@ -289,6 +442,23 @@ int run_campaign_command(const std::string& name,
   if (cmd->run == &fig7_report)
     args.add_int("--decimate", 10, "keep every n-th trace row (1 = all)", 1,
                  1000000);
+  // Long-running grid campaigns checkpoint per chunk; fig7/fig8 are either
+  // instant or a different workload shape, so they don't take the flags.
+  const bool checkpointable =
+      cmd->run == &table4_report || cmd->run == &table5_report ||
+      cmd->run == &bench_report;
+  if (checkpointable) {
+    args.add_string("--checkpoint", "",
+                    "crash-safe checkpoint path stem; each campaign slice "
+                    "appends to <stem>.<slice>");
+    args.add_bool("--resume",
+                  "restore completed chunks from --checkpoint files and run "
+                  "only the rest (fresh files are created when absent)");
+  }
+  if (cmd->run == &bench_report)
+    args.add_choice("--campaign", "table4", {"table4", "table5", "fig8"},
+                    "which campaign to time (emits BENCH_<campaign>.json "
+                    "rows)");
 
   try {
     args.parse_tokens(tokens);
@@ -307,6 +477,28 @@ int run_campaign_command(const std::string& name,
   options.seed = args.get_uint("--seed");
   if (cmd->run == &fig7_report)
     options.decimate = static_cast<int>(args.get_int("--decimate"));
+  if (checkpointable) {
+    options.checkpoint = args.get_string("--checkpoint");
+    options.resume = args.get_bool("--resume");
+    if (options.resume && options.checkpoint.empty()) {
+      err << "scaa_campaign " << cmd->name
+          << ": --resume requires --checkpoint PATH\n"
+          << args.usage();
+      return 2;
+    }
+  }
+  if (cmd->run == &bench_report) {
+    options.bench_campaign = args.get_string("--campaign");
+    // The fig8 parameter-space sweep does not run through the chunked grid
+    // runners, so it cannot checkpoint yet; silently ignoring the flags
+    // would leave the user believing an hour-long run was protected.
+    if (options.bench_campaign == "fig8" && !options.checkpoint.empty()) {
+      err << "scaa_campaign bench: --checkpoint is not supported with "
+             "--campaign fig8 (the parameter-space sweep has no chunked "
+             "checkpoint path yet)\n";
+      return 2;
+    }
+  }
   const Format format = parse_format(args.get_string("--format"));
 
   // Open the sink before running: campaigns can take hours at paper scale,
@@ -322,7 +514,16 @@ int run_campaign_command(const std::string& name,
     }
   }
 
-  const Report report = cmd->run(options, &err);
+  // A checkpoint refusal/corruption (or any campaign failure) must be a
+  // clean diagnostic + nonzero exit, not a std::terminate in main().
+  std::optional<Report> report_holder;
+  try {
+    report_holder.emplace(cmd->run(options, &err));
+  } catch (const std::exception& e) {
+    err << "scaa_campaign " << cmd->name << ": " << e.what() << "\n";
+    return 1;
+  }
+  const Report& report = *report_holder;
 
   if (out_path == "-") {
     report.write(out, format);

@@ -14,6 +14,7 @@
 
 #include "attack/strategies.hpp"
 #include "cli/report.hpp"
+#include "exp/campaign.hpp"
 
 namespace scaa::cli {
 
@@ -23,6 +24,9 @@ struct CampaignOptions {
   std::size_t threads = 0;  ///< worker threads (0 = hardware concurrency)
   std::uint64_t seed = 2022;  ///< base seed mixed into every simulation
   int decimate = 10;        ///< fig7 only: keep every n-th trace row
+  std::string checkpoint;   ///< checkpoint path stem; empty = no checkpoint
+  bool resume = false;      ///< load completed chunks from the checkpoint
+  std::string bench_campaign = "table4";  ///< bench only: campaign to time
 };
 
 /// One Table IV row spec (paper Table III): which strategy, whether it
@@ -37,6 +41,14 @@ struct Table4Strategy {
 /// scaa_campaign table4 and bench_table4 iterate this single definition so
 /// they can never reproduce different experiments.
 const std::vector<Table4Strategy>& table4_strategies();
+
+/// Live per-chunk progress for the streaming runner: prints one status line
+/// to @p out (null = silent) each time the campaign crosses another 10% of
+/// its grid, including exactly one 100% line when it finishes — a campaign
+/// that fits in a single chunk still reports its completion, and a chunk
+/// that crosses several deciles at once emits one line for the latest.
+exp::CampaignProgressFn decile_progress(std::ostream* out,
+                                        const std::string& tag);
 
 /// Table IV: attack-strategy comparison with an alert driver. One row per
 /// strategy. @p progress (may be null) receives per-strategy status lines.
@@ -54,11 +66,13 @@ Report fig7_report(const CampaignOptions& options, std::ostream* progress);
 /// @p options.reps scales the overlay runs per strategy (paper: 20).
 Report fig8_report(const CampaignOptions& options, std::ostream* progress);
 
-/// End-to-end wall-clock benchmark: the Table IV campaign timed per
-/// strategy through the streaming runner with shared immutable assets.
-/// One row per strategy plus a TOTAL row; `--format json --out
-/// BENCH_table4.json` records a benchmark trajectory point. The aggregate
-/// columns double as a seed-for-seed identity check against table4.
+/// End-to-end wall-clock benchmark. options.bench_campaign selects the
+/// workload: "table4" (default) times the Table IV campaign per strategy
+/// through the streaming runner — one row per strategy plus TOTAL, with
+/// aggregate columns that double as a seed-for-seed identity check against
+/// table4; "table5" times the four Table V slices; "fig8" times the
+/// parameter-space sweep. `--format json --out BENCH_<campaign>.json`
+/// records a benchmark trajectory point.
 Report bench_report(const CampaignOptions& options, std::ostream* progress);
 
 /// One registered scaa_campaign subcommand.

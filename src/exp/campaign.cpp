@@ -1,8 +1,12 @@
 #include "exp/campaign.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <mutex>
+#include <stdexcept>
+#include <string>
 
+#include "exp/checkpoint.hpp"
 #include "road/builder.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
@@ -11,8 +15,19 @@ namespace scaa::exp {
 
 std::vector<CampaignItem> make_grid(attack::StrategyKind strategy,
                                     bool strategic_values, bool driver_enabled,
-                                    int repetitions,
-                                    std::uint64_t base_seed) {
+                                    const CampaignConfig& config,
+                                    int repetitions) {
+  // The documented fallback: an explicit positive override wins, otherwise
+  // the config-level repetition count applies. Anything non-positive after
+  // that would silently produce an empty grid (and empty-looking tables
+  // downstream), so it is a hard error.
+  if (repetitions <= 0) repetitions = config.repetitions;
+  if (repetitions <= 0)
+    throw std::invalid_argument(
+        "make_grid: effective repetitions must be > 0, got " +
+        std::to_string(repetitions) +
+        " (override and CampaignConfig.repetitions are both non-positive)");
+  const std::uint64_t base_seed = config.base_seed;
   std::vector<CampaignItem> items;
   std::uint64_t counter = 0;
   for (const attack::AttackType type : attack::kAllAttackTypes) {
@@ -67,22 +82,79 @@ sim::WorldConfig world_config_for(const CampaignItem& item,
   return cfg;
 }
 
-std::vector<CampaignResult> run_campaign(const std::vector<CampaignItem>& items,
-                                         const CampaignConfig& config) {
-  // Per-item tasks (not chunks): this path materializes results[i] by
-  // index, so no reduction order is at stake, and fine granularity keeps
-  // every worker busy even on small grids. Chunking exists only in
-  // run_campaign_streaming, where it fixes the merge order.
-  std::vector<CampaignResult> results(items.size());
-  const WorldAssets assets = WorldAssets::make_default();
-  ThreadPool pool(config.threads);
-  for (std::size_t i = 0; i < items.size(); ++i) {
-    pool.submit([&items, &results, &assets, i] {
-      sim::World world(world_config_for(items[i], assets));
-      results[i] = CampaignResult{items[i], world.run()};
-    });
+namespace {
+
+/// Captures the first checkpoint-commit failure from a worker thread so the
+/// runner can abort outstanding work and rethrow once the pool drains
+/// (letting an exception escape a pool task would terminate the process).
+struct CommitErrors {
+  std::mutex mutex;
+  std::string first;
+  std::atomic<bool> failed{false};
+
+  void capture(const std::exception& e) {
+    const std::lock_guard<std::mutex> lock(mutex);
+    if (first.empty()) first = e.what();
+    failed.store(true, std::memory_order_release);
   }
-  pool.wait_idle();
+  void rethrow_if_failed() {
+    if (failed.load(std::memory_order_acquire)) throw CheckpointError(first);
+  }
+};
+
+}  // namespace
+
+std::vector<CampaignResult> run_campaign(const std::vector<CampaignItem>& items,
+                                         const CampaignConfig& config,
+                                         ResultsCheckpoint* checkpoint) {
+  std::vector<CampaignResult> results(items.size());
+  for (std::size_t i = 0; i < items.size(); ++i) results[i].item = items[i];
+  const WorldAssets assets = WorldAssets::make_default();
+
+  if (checkpoint == nullptr) {
+    // Per-item tasks (not chunks): this path materializes results[i] by
+    // index, so no reduction order is at stake, and fine granularity keeps
+    // every worker busy even on small grids.
+    ThreadPool pool(config.threads);
+    for (std::size_t i = 0; i < items.size(); ++i) {
+      pool.submit([&items, &results, &assets, i] {
+        sim::World world(world_config_for(items[i], assets));
+        results[i].summary = world.run();
+      });
+    }
+    pool.wait_idle();
+    return results;
+  }
+
+  // Checkpointed: chunk-sized tasks, because the chunk is the commit unit.
+  // Results are still materialized by index, so granularity cannot change
+  // the outcome — only how work restores and commits.
+  checkpoint->restore_into(results);
+  const std::size_t n_chunks =
+      (items.size() + kCampaignChunk - 1) / kCampaignChunk;
+  CommitErrors errors;
+  {
+    ThreadPool pool(config.threads);
+    for (std::size_t c = 0; c < n_chunks; ++c) {
+      if (checkpoint->chunk_complete(c)) continue;
+      pool.submit([&items, &results, &assets, checkpoint, &errors, c] {
+        if (errors.failed.load(std::memory_order_acquire)) return;
+        const std::size_t begin = c * kCampaignChunk;
+        const std::size_t end = std::min(items.size(), begin + kCampaignChunk);
+        for (std::size_t i = begin; i < end; ++i) {
+          sim::World world(world_config_for(items[i], assets));
+          results[i].summary = world.run();
+        }
+        try {
+          checkpoint->commit(c, results.data() + begin, end - begin);
+        } catch (const std::exception& e) {
+          errors.capture(e);
+        }
+      });
+    }
+    pool.wait_idle();
+  }
+  errors.rethrow_if_failed();
   return results;
 }
 
@@ -134,6 +206,37 @@ Aggregate AggregateAccumulator::finish() const {
   return agg;
 }
 
+AggregateAccumulatorRecord AggregateAccumulator::to_record() const noexcept {
+  AggregateAccumulatorRecord record;
+  record.simulations = agg_.simulations;
+  record.sims_with_alerts = agg_.sims_with_alerts;
+  record.sims_with_hazards = agg_.sims_with_hazards;
+  record.sims_with_accidents = agg_.sims_with_accidents;
+  record.hazards_without_alerts = agg_.hazards_without_alerts;
+  record.fcw_activations = agg_.fcw_activations;
+  record.invasion_rate = invasion_rate_.to_record();
+  record.tth = tth_.to_record();
+  return record;
+}
+
+AggregateAccumulator AggregateAccumulator::from_record(
+    const AggregateAccumulatorRecord& record) noexcept {
+  AggregateAccumulator acc;
+  acc.agg_.simulations = static_cast<std::size_t>(record.simulations);
+  acc.agg_.sims_with_alerts =
+      static_cast<std::size_t>(record.sims_with_alerts);
+  acc.agg_.sims_with_hazards =
+      static_cast<std::size_t>(record.sims_with_hazards);
+  acc.agg_.sims_with_accidents =
+      static_cast<std::size_t>(record.sims_with_accidents);
+  acc.agg_.hazards_without_alerts =
+      static_cast<std::size_t>(record.hazards_without_alerts);
+  acc.agg_.fcw_activations = static_cast<std::size_t>(record.fcw_activations);
+  acc.invasion_rate_ = util::RunningStats::from_record(record.invasion_rate);
+  acc.tth_ = util::RunningStats::from_record(record.tth);
+  return acc;
+}
+
 Aggregate aggregate(const std::vector<CampaignResult>& results) {
   // Chunked exactly like run_campaign_streaming (same chunk size, same
   // within-chunk order, same chunk-order merge) so the two reductions are
@@ -150,7 +253,8 @@ Aggregate aggregate(const std::vector<CampaignResult>& results) {
 
 Aggregate run_campaign_streaming(const std::vector<CampaignItem>& items,
                                  const CampaignConfig& config,
-                                 const CampaignProgressFn& progress) {
+                                 const CampaignProgressFn& progress,
+                                 CampaignCheckpoint* checkpoint) {
   const WorldAssets assets = WorldAssets::make_default();
   const std::size_t n_chunks =
       (items.size() + kCampaignChunk - 1) / kCampaignChunk;
@@ -163,19 +267,45 @@ Aggregate run_campaign_streaming(const std::vector<CampaignItem>& items,
   };
   std::vector<PaddedAccumulator> partials(n_chunks);
 
+  // Restore already-committed chunks before submitting anything: they are
+  // never recomputed, and the first progress callback accounts for them.
+  std::size_t restored = 0;
+  if (checkpoint != nullptr) {
+    for (std::size_t c = 0; c < n_chunks; ++c) {
+      if (!checkpoint->chunk_complete(c)) continue;
+      partials[c].acc = checkpoint->restored(c);
+    }
+    restored = checkpoint->completed_items();
+    if (progress && restored > 0)
+      progress(CampaignProgress{restored, items.size()});
+  }
+
   std::mutex progress_mutex;
-  std::size_t completed = 0;
+  std::size_t completed = restored;
+  CommitErrors errors;
   {
     ThreadPool pool(config.threads);
     for (std::size_t c = 0; c < n_chunks; ++c) {
+      if (checkpoint != nullptr && checkpoint->chunk_complete(c)) continue;
       pool.submit([&items, &assets, &partials, &progress, &progress_mutex,
-                   &completed, c] {
+                   &completed, checkpoint, &errors, c] {
+        if (errors.failed.load(std::memory_order_acquire)) return;
         const std::size_t begin = c * kCampaignChunk;
         const std::size_t end =
             std::min(items.size(), begin + kCampaignChunk);
         for (std::size_t i = begin; i < end; ++i) {
           sim::World world(world_config_for(items[i], assets));
           partials[c].acc.add(world.run());
+        }
+        // Commit before reporting progress: a chunk only ever counts as
+        // done once it is durable.
+        if (checkpoint != nullptr) {
+          try {
+            checkpoint->commit(c, partials[c].acc);
+          } catch (const std::exception& e) {
+            errors.capture(e);
+            return;
+          }
         }
         if (progress) {
           const std::lock_guard<std::mutex> lock(progress_mutex);
@@ -186,9 +316,11 @@ Aggregate run_campaign_streaming(const std::vector<CampaignItem>& items,
     }
     pool.wait_idle();
   }
+  errors.rethrow_if_failed();
 
   // Merge in chunk order: the fixed order is what makes the result
-  // independent of which worker ran which chunk.
+  // independent of which worker ran which chunk — and, with a checkpoint,
+  // of which chunks were restored vs. freshly computed.
   AggregateAccumulator total;
   for (const PaddedAccumulator& p : partials) total.merge(p.acc);
   return total.finish();

@@ -37,19 +37,24 @@ struct CampaignResult {
   sim::SimulationSummary summary;
 };
 
-/// Campaign-wide knobs.
+/// Campaign-wide knobs. base_seed and repetitions feed make_grid (the grid
+/// builder is the only consumer of either); threads feeds the runners.
 struct CampaignConfig {
   std::uint64_t base_seed = 2022;  ///< mixed into every item's seed
   int repetitions = 20;            ///< paper: 20 per (type, scenario, gap)
   std::size_t threads = 0;         ///< 0 = hardware concurrency
 };
 
-/// Build the full item grid for one strategy (paper Table III row).
-/// @p repetitions overrides config-level repetitions when > 0.
+/// Build the full item grid for one strategy (paper Table III row), seeded
+/// from @p config.base_seed. @p repetitions overrides config-level
+/// repetitions when > 0 (e.g. Table IV's Random-ST+DUR 10x multiplier);
+/// otherwise @p config.repetitions applies. An effective repetition count
+/// <= 0 would silently yield an empty grid and empty-looking tables, so it
+/// throws std::invalid_argument instead.
 std::vector<CampaignItem> make_grid(attack::StrategyKind strategy,
                                     bool strategic_values, bool driver_enabled,
-                                    int repetitions,
-                                    std::uint64_t base_seed);
+                                    const CampaignConfig& config,
+                                    int repetitions = 0);
 
 /// Immutable per-campaign assets: the road and DBC database are identical
 /// for every simulation, so campaigns build them once and share them
@@ -73,13 +78,22 @@ sim::WorldConfig world_config_for(const CampaignItem& item,
                                   const WorldAssets& assets);
 
 /// Items per pool task. Also the reduction granularity of the streaming
-/// aggregator: fixed, so streaming results are bit-identical to the
-/// vector-of-results path at any thread count.
+/// aggregator and the commit granularity of the checkpoint layer: fixed, so
+/// streaming results are bit-identical to the vector-of-results path at any
+/// thread count, and a resumed campaign restores whole chunks.
 inline constexpr std::size_t kCampaignChunk = 64;
 
+class CampaignCheckpoint;  // exp/checkpoint.hpp: streaming-aggregate mode
+class ResultsCheckpoint;   // exp/checkpoint.hpp: per-item results mode
+
 /// Run every item; results are returned in item order (deterministic).
+/// With a @p checkpoint (may be null), work is submitted in kCampaignChunk
+/// chunks: chunks the checkpoint already holds are restored instead of
+/// recomputed, and every freshly finished chunk is durably committed, so a
+/// killed run resumes where it left off with bit-identical results.
 std::vector<CampaignResult> run_campaign(const std::vector<CampaignItem>& items,
-                                         const CampaignConfig& config);
+                                         const CampaignConfig& config,
+                                         ResultsCheckpoint* checkpoint = nullptr);
 
 /// Aggregate counters over a set of results (one Table IV row).
 struct Aggregate {
@@ -99,6 +113,21 @@ struct Aggregate {
   double alert_fraction() const noexcept;
 };
 
+/// Bit-exact snapshot of an AggregateAccumulator: the integer counters plus
+/// the two Welford accumulators as raw bit patterns. This is what the
+/// checkpoint layer persists per chunk; restoring it and merging in chunk
+/// order reproduces an uninterrupted run exactly.
+struct AggregateAccumulatorRecord {
+  std::uint64_t simulations = 0;
+  std::uint64_t sims_with_alerts = 0;
+  std::uint64_t sims_with_hazards = 0;
+  std::uint64_t sims_with_accidents = 0;
+  std::uint64_t hazards_without_alerts = 0;
+  std::uint64_t fcw_activations = 0;
+  util::RunningStatsRecord invasion_rate;
+  util::RunningStatsRecord tth;
+};
+
 /// Mergeable aggregate state: exact integer counters plus Welford moment
 /// accumulators. The single reduction implementation behind both
 /// aggregate() and run_campaign_streaming(), so the two can never drift.
@@ -112,6 +141,13 @@ class AggregateAccumulator {
 
   /// Finalize into the row the tables render.
   Aggregate finish() const;
+
+  /// Exact snapshot; from_record(to_record()) is the identity.
+  AggregateAccumulatorRecord to_record() const noexcept;
+
+  /// Reconstitute an accumulator from a snapshot, bit-for-bit.
+  static AggregateAccumulator from_record(
+      const AggregateAccumulatorRecord& record) noexcept;
 
  private:
   Aggregate agg_;  ///< counter fields only; means/stds filled by finish()
@@ -138,8 +174,18 @@ using CampaignProgressFn = std::function<void(const CampaignProgress&)>;
 /// Aggregate is bit-identical to aggregate(run_campaign(items, config)) at
 /// any thread count, and @p progress (may be empty; called under a lock)
 /// enables live output for hour-long paper-scale campaigns.
+///
+/// With a @p checkpoint (may be null), chunks the checkpoint already holds
+/// are restored (never recomputed) and counted into the first progress
+/// callback, and each freshly finished chunk is committed — an fsync'd
+/// atomic append — before it reports progress. Because restored and
+/// recomputed partials merge in the same fixed chunk order, a run that is
+/// killed and resumed any number of times returns an Aggregate bit-identical
+/// to an uninterrupted run, at any thread count. A commit failure (e.g. disk
+/// full) aborts outstanding work and rethrows after the pool drains.
 Aggregate run_campaign_streaming(const std::vector<CampaignItem>& items,
                                  const CampaignConfig& config,
-                                 const CampaignProgressFn& progress = {});
+                                 const CampaignProgressFn& progress = {},
+                                 CampaignCheckpoint* checkpoint = nullptr);
 
 }  // namespace scaa::exp

@@ -1,0 +1,161 @@
+#pragma once
+
+/// @file checkpoint.hpp
+/// Crash-safe checkpoint/resume for campaign runs.
+///
+/// An hour-long paper-scale campaign (Table IV: 20,160 simulations) that
+/// dies at 90% used to lose everything. This layer persists each completed
+/// kCampaignChunk-sized chunk to an append-only file so a killed run can be
+/// resumed, and the resumed run's final Aggregate (or result vector) is
+/// **bit-identical** to an uninterrupted run — including the Welford
+/// floating-point moments — at any thread count.
+///
+/// ## File format (version 1)
+///
+/// Line-oriented ASCII. Every line is `<payload> crc=<hex16>` where the crc
+/// is FNV-1a 64 of the payload (everything before " crc="). Line 1 is the
+/// header:
+///
+///   scaa-checkpoint format=1 mode=<agg|results> fingerprint=<hex16>
+///       items=<n> chunks=<n> chunk_size=<n>            (one line)
+///
+/// Every following line is one committed chunk, appended with a single
+/// write(2) followed by fsync(2), in completion order (not chunk order):
+///
+///   mode=agg:     chunk=<idx> sims=... alerts=... hazards=... accidents=...
+///                 noalert=... fcw=... inv=<rs> tth=<rs>
+///   mode=results: chunk=<idx> n=<count> <item>;<item>;...
+///
+/// `<rs>` is a RunningStats snapshot `n:mean:m2:min:max` and `<item>` a
+/// SimulationSummary, both with every double rendered as its raw IEEE-754
+/// bit pattern in fixed 16-digit hex (util::double_bits) — decimal
+/// formatting would round and break the bit-identical guarantee.
+///
+/// ## Fingerprint rules
+///
+/// The header fingerprint is FNV-1a over the format version, kCampaignChunk,
+/// the item count, and every field of every CampaignItem (doubles as bit
+/// patterns). A checkpoint therefore only ever resumes the *exact* grid it
+/// was started for: a different strategy, seed, repetition count, grid
+/// order, chunk size, or file-format revision all change the fingerprint
+/// and are rejected with CheckpointError. Bump kCheckpointFormatVersion on
+/// any change to the record layout *or* to simulation semantics that makes
+/// old partial results unsound to merge with new ones.
+///
+/// ## Crash tolerance vs. corruption
+///
+/// A crash can tear at most the final append, so on load a malformed or
+/// checksum-failing *last* line is tolerated (that chunk is simply
+/// recomputed). A bad line anywhere *before* the last, a header mismatch,
+/// an out-of-range or duplicate chunk index, or a chunk whose sample count
+/// disagrees with the grid is real corruption and raises CheckpointError —
+/// silently merging doubtful state would be worse than rerunning.
+///
+/// Each open checkpoint holds an exclusive advisory flock(2) on its file
+/// for its lifetime, so a retry loop that restarts the campaign while the
+/// previous process is still running fails cleanly instead of interleaving
+/// appends from two writers.
+
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "exp/campaign.hpp"
+
+namespace scaa::exp {
+
+/// Raised on checkpoint corruption, fingerprint/format mismatch, refusal to
+/// clobber an existing file, or an I/O failure while committing.
+class CheckpointError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Bump on any serialized-layout or simulation-semantics change (see file
+/// comment); folded into every fingerprint, so old files are rejected.
+inline constexpr std::uint32_t kCheckpointFormatVersion = 1;
+
+/// Fingerprint of a campaign grid: FNV-1a over the format version, chunk
+/// size, item count, and every CampaignItem field (doubles as bit
+/// patterns). Two grids fingerprint equal iff a checkpoint of one is valid
+/// for the other.
+std::uint64_t grid_fingerprint(const std::vector<CampaignItem>& items);
+
+/// Checkpoint for run_campaign_streaming: persists one
+/// AggregateAccumulatorRecord per completed chunk.
+///
+/// Construction with resume=false starts a fresh file and throws
+/// CheckpointError if @p path already holds data (refusing to silently
+/// clobber a previous run); resume=true loads and validates an existing
+/// file, or starts fresh when none exists — so crash-restart loops can
+/// always pass resume=true. commit() is thread-safe (the runners call it
+/// from worker threads).
+class CampaignCheckpoint {
+ public:
+  CampaignCheckpoint(std::string path, const std::vector<CampaignItem>& items,
+                     bool resume);
+  ~CampaignCheckpoint();
+
+  CampaignCheckpoint(const CampaignCheckpoint&) = delete;
+  CampaignCheckpoint& operator=(const CampaignCheckpoint&) = delete;
+
+  /// Total chunks in the grid this checkpoint covers.
+  std::size_t chunk_count() const noexcept;
+
+  /// Chunks restored from the file at construction.
+  std::size_t completed_chunks() const noexcept;
+
+  /// Simulations covered by the restored chunks.
+  std::size_t completed_items() const noexcept;
+
+  /// True when @p chunk was restored from the file.
+  bool chunk_complete(std::size_t chunk) const;
+
+  /// The restored accumulator for a complete chunk (bit-exact).
+  AggregateAccumulator restored(std::size_t chunk) const;
+
+  /// Durably append @p chunk's accumulator (single write + fsync).
+  /// Thread-safe. Throws CheckpointError on I/O failure or if the chunk is
+  /// already committed.
+  void commit(std::size_t chunk, const AggregateAccumulator& acc);
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// Checkpoint for the materializing run_campaign (Table V needs per-item
+/// results for driver-on/off pairing): persists every SimulationSummary of
+/// a completed chunk. Same framing, fingerprint, and crash-tolerance rules
+/// as CampaignCheckpoint; records are bigger (one summary per item).
+class ResultsCheckpoint {
+ public:
+  ResultsCheckpoint(std::string path, const std::vector<CampaignItem>& items,
+                    bool resume);
+  ~ResultsCheckpoint();
+
+  ResultsCheckpoint(const ResultsCheckpoint&) = delete;
+  ResultsCheckpoint& operator=(const ResultsCheckpoint&) = delete;
+
+  std::size_t chunk_count() const noexcept;
+  std::size_t completed_chunks() const noexcept;
+  std::size_t completed_items() const noexcept;
+  bool chunk_complete(std::size_t chunk) const;
+
+  /// Copy every restored summary into its slot of @p results (which must
+  /// already be grid-sized); untouched slots belong to incomplete chunks.
+  void restore_into(std::vector<CampaignResult>& results) const;
+
+  /// Durably append the @p count results of @p chunk (they must be that
+  /// chunk's slice of the grid-ordered result vector). Thread-safe.
+  void commit(std::size_t chunk, const CampaignResult* results,
+              std::size_t count);
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace scaa::exp

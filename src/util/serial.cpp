@@ -1,0 +1,65 @@
+#include "util/serial.hpp"
+
+namespace scaa::util {
+
+namespace {
+
+constexpr char kHexDigits[] = "0123456789abcdef";
+
+int hex_value(char c) noexcept {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+}  // namespace
+
+std::string hex_u64(std::uint64_t v) {
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = kHexDigits[v & 0xF];
+    v >>= 4;
+  }
+  return out;
+}
+
+bool parse_hex_u64(std::string_view text, std::uint64_t& out) noexcept {
+  if (text.empty() || text.size() > 16) return false;
+  std::uint64_t v = 0;
+  for (const char c : text) {
+    const int digit = hex_value(c);
+    if (digit < 0) return false;
+    v = (v << 4) | static_cast<std::uint64_t>(digit);
+  }
+  out = v;
+  return true;
+}
+
+Fnv1a64& Fnv1a64::update_bytes(const void* data, std::size_t size) noexcept {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < size; ++i) {
+    state_ ^= bytes[i];
+    state_ *= 0x00000100000001B3ull;  // FNV prime
+  }
+  return *this;
+}
+
+Fnv1a64& Fnv1a64::update(std::uint64_t v) noexcept {
+  unsigned char bytes[8];
+  for (int i = 0; i < 8; ++i) {
+    bytes[i] = static_cast<unsigned char>(v & 0xFF);  // little-endian
+    v >>= 8;
+  }
+  return update_bytes(bytes, sizeof(bytes));
+}
+
+Fnv1a64& Fnv1a64::update(std::string_view text) noexcept {
+  return update_bytes(text.data(), text.size());
+}
+
+std::uint64_t fnv1a64(std::string_view text) noexcept {
+  return Fnv1a64().update(text).digest();
+}
+
+}  // namespace scaa::util

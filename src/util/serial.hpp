@@ -1,0 +1,56 @@
+#pragma once
+
+/// @file serial.hpp
+/// Bit-exact serialization helpers for the experiment harness.
+///
+/// Checkpoint files must restore floating-point accumulator state *exactly*
+/// (a Welford mean that comes back one ulp off breaks the bit-identical
+/// resume guarantee), so doubles travel as their raw IEEE-754 bit patterns
+/// rendered in fixed-width hex — never through decimal formatting, which
+/// rounds. The FNV-1a hash is the shared fingerprint/record-checksum
+/// primitive; it is byte-order-explicit (little-endian) so files are
+/// portable across hosts.
+
+#include <bit>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace scaa::util {
+
+/// Raw IEEE-754 bit pattern of @p x (exact, including NaN payloads and -0).
+inline std::uint64_t double_bits(double x) noexcept {
+  return std::bit_cast<std::uint64_t>(x);
+}
+
+/// Inverse of double_bits(): reconstitute the exact double.
+inline double double_from_bits(std::uint64_t bits) noexcept {
+  return std::bit_cast<double>(bits);
+}
+
+/// Render @p v as exactly 16 lowercase hex digits (no "0x" prefix).
+std::string hex_u64(std::uint64_t v);
+
+/// Strictly parse 1..16 hex digits into @p out. Returns false on an empty
+/// string, a non-hex character, or more than 16 digits; @p out is
+/// unmodified on failure.
+bool parse_hex_u64(std::string_view text, std::uint64_t& out) noexcept;
+
+/// Streaming FNV-1a (64-bit). Multi-byte integers are folded in as
+/// little-endian bytes regardless of host order, so digests match across
+/// machines.
+class Fnv1a64 {
+ public:
+  Fnv1a64& update_bytes(const void* data, std::size_t size) noexcept;
+  Fnv1a64& update(std::uint64_t v) noexcept;
+  Fnv1a64& update(std::string_view text) noexcept;
+  std::uint64_t digest() const noexcept { return state_; }
+
+ private:
+  std::uint64_t state_ = 0xCBF29CE484222325ull;  ///< FNV offset basis
+};
+
+/// One-shot FNV-1a of a string (the per-record checksum in checkpoints).
+std::uint64_t fnv1a64(std::string_view text) noexcept;
+
+}  // namespace scaa::util

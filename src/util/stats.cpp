@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "util/serial.hpp"
+
 namespace scaa::util {
 
 void RunningStats::add(double x) noexcept {
@@ -43,19 +45,60 @@ double RunningStats::variance() const noexcept {
 
 double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
 
+RunningStatsRecord RunningStats::to_record() const noexcept {
+  RunningStatsRecord record;
+  record.n = static_cast<std::uint64_t>(n_);
+  record.mean_bits = double_bits(mean_);
+  record.m2_bits = double_bits(m2_);
+  record.min_bits = double_bits(min_);
+  record.max_bits = double_bits(max_);
+  return record;
+}
+
+RunningStats RunningStats::from_record(const RunningStatsRecord& record) noexcept {
+  RunningStats stats;
+  stats.n_ = static_cast<std::size_t>(record.n);
+  stats.mean_ = double_from_bits(record.mean_bits);
+  stats.m2_ = double_from_bits(record.m2_bits);
+  stats.min_ = double_from_bits(record.min_bits);
+  stats.max_ = double_from_bits(record.max_bits);
+  return stats;
+}
+
 Histogram::Histogram(double lo, double hi, std::size_t bins)
     : lo_(lo), hi_(hi), counts_(bins, 0) {
   if (bins == 0) throw std::invalid_argument("Histogram: bins must be >= 1");
+  if (!std::isfinite(lo) || !std::isfinite(hi))
+    throw std::invalid_argument("Histogram: bounds must be finite");
   if (!(lo < hi)) throw std::invalid_argument("Histogram: requires lo < hi");
 }
 
 void Histogram::add(double x) noexcept {
-  const double t = (x - lo_) / (hi_ - lo_);
-  auto idx = static_cast<long>(t * static_cast<double>(counts_.size()));
-  if (idx < 0) idx = 0;
-  if (idx >= static_cast<long>(counts_.size()))
-    idx = static_cast<long>(counts_.size()) - 1;
-  ++counts_[static_cast<std::size_t>(idx)];
+  if (std::isnan(x)) {  // NaN policy: drop and count, never bin
+    ++nan_;
+    return;
+  }
+  // Clamp in double space BEFORE the integer conversion: casting a scaled
+  // sample that is out of the target type's range (or +/-inf) is UB, so the
+  // cast below only ever sees a value in [0, bins).
+  std::size_t idx = 0;
+  if (x >= hi_) {
+    idx = counts_.size() - 1;
+  } else if (x > lo_) {
+    // Even with finite bounds, (x - lo) and (hi - lo) can both overflow to
+    // inf for near-DBL_MAX spans, making t NaN — so gate the cast on t
+    // being a genuine in-range fraction (a NaN fails every comparison and
+    // falls through to bin 0).
+    const double t = (x - lo_) / (hi_ - lo_);
+    if (t >= 1.0) {
+      idx = counts_.size() - 1;
+    } else if (t > 0.0) {
+      idx = static_cast<std::size_t>(t * static_cast<double>(counts_.size()));
+      // t*bins can round up to bins when x is just below hi.
+      if (idx >= counts_.size()) idx = counts_.size() - 1;
+    }
+  }
+  ++counts_[idx];
   ++total_;
 }
 

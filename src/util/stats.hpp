@@ -4,9 +4,23 @@
 /// Streaming statistics accumulators used by the experiment harness.
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 namespace scaa::util {
+
+/// Bit-exact snapshot of a RunningStats for serialization. The double
+/// state travels as raw IEEE-754 bit patterns (util::double_bits), so a
+/// record round trip restores the accumulator *exactly* — required by the
+/// campaign checkpoint layer, whose resumed aggregates must be
+/// bit-identical to an uninterrupted run.
+struct RunningStatsRecord {
+  std::uint64_t n = 0;
+  std::uint64_t mean_bits = 0;
+  std::uint64_t m2_bits = 0;
+  std::uint64_t min_bits = 0;
+  std::uint64_t max_bits = 0;
+};
 
 /// Welford-style streaming accumulator for mean / variance / extrema.
 /// Numerically stable for long campaigns; O(1) per sample.
@@ -39,6 +53,12 @@ class RunningStats {
   /// Sum of all samples.
   double sum() const noexcept { return mean_ * static_cast<double>(n_); }
 
+  /// Exact bit-pattern snapshot; from_record(to_record()) is the identity.
+  RunningStatsRecord to_record() const noexcept;
+
+  /// Reconstitute an accumulator from a snapshot, bit-for-bit.
+  static RunningStats from_record(const RunningStatsRecord& record) noexcept;
+
  private:
   std::size_t n_ = 0;
   double mean_ = 0.0;
@@ -47,15 +67,20 @@ class RunningStats {
   double max_ = 0.0;
 };
 
-/// Fixed-width histogram over [lo, hi); samples outside are clamped into the
-/// first/last bin. Used for TTH distributions and parameter-space summaries.
+/// Fixed-width histogram over [lo, hi); samples outside (including +/-inf)
+/// are clamped into the first/last bin. NaN samples are dropped and counted
+/// separately (nan_count()) — they have no meaningful bin, and folding them
+/// into an edge bin would silently skew the distribution. Used for TTH
+/// distributions and parameter-space summaries.
 class Histogram {
  public:
-  /// Create with @p bins bins spanning [@p lo, @p hi). Requires bins >= 1,
-  /// lo < hi.
+  /// Create with @p bins bins spanning [@p lo, @p hi). Requires bins >= 1
+  /// and finite lo < hi (throws std::invalid_argument otherwise).
   Histogram(double lo, double hi, std::size_t bins);
 
-  /// Add one sample.
+  /// Add one sample. The bin is chosen by clamping in double space before
+  /// any integer conversion, so out-of-range and non-finite samples can
+  /// never hit the undefined float->int cast.
   void add(double x) noexcept;
 
   /// Count in bin @p i.
@@ -67,14 +92,18 @@ class Histogram {
   /// Lower edge of bin @p i.
   double bin_lo(std::size_t i) const noexcept;
 
-  /// Total number of samples.
+  /// Total number of binned samples (excludes dropped NaNs).
   std::size_t total() const noexcept { return total_; }
+
+  /// Number of NaN samples seen and dropped.
+  std::size_t nan_count() const noexcept { return nan_; }
 
  private:
   double lo_;
   double hi_;
   std::vector<std::size_t> counts_;
   std::size_t total_ = 0;
+  std::size_t nan_ = 0;
 };
 
 }  // namespace scaa::util

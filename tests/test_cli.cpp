@@ -211,4 +211,78 @@ TEST(Campaigns, SubcommandHelpExitsZero) {
   EXPECT_NE(out.str().find("--format"), std::string::npos);
 }
 
+TEST(Campaigns, ResumeRequiresCheckpointPath) {
+  std::ostringstream out, err;
+  EXPECT_EQ(cli::run_campaign_command("table4", {"--resume"}, out, err), 2);
+  EXPECT_NE(err.str().find("--checkpoint"), std::string::npos);
+}
+
+TEST(Campaigns, BenchFig8RejectsCheckpointInsteadOfIgnoringIt) {
+  // The fig8 sweep has no checkpoint path; silently accepting the flag
+  // would leave an hour-long run unprotected while claiming otherwise.
+  std::ostringstream out, err;
+  EXPECT_EQ(cli::run_campaign_command(
+                "bench", {"--campaign", "fig8", "--checkpoint", "f8.ckpt"},
+                out, err),
+            2);
+  EXPECT_NE(err.str().find("not supported"), std::string::npos);
+}
+
+TEST(Campaigns, CheckpointFlagsOnlyOnGridCampaigns) {
+  // fig7 is a single simulation; it must not advertise --checkpoint.
+  std::ostringstream out, err;
+  EXPECT_EQ(cli::run_campaign_command("fig7", {"--help"}, out, err), 0);
+  EXPECT_EQ(out.str().find("--checkpoint"), std::string::npos);
+  std::ostringstream out4, err4;
+  EXPECT_EQ(cli::run_campaign_command("table4", {"--help"}, out4, err4), 0);
+  EXPECT_NE(out4.str().find("--checkpoint"), std::string::npos);
+  EXPECT_NE(out4.str().find("--resume"), std::string::npos);
+}
+
+int count_lines(const std::string& text) {
+  return static_cast<int>(std::count(text.begin(), text.end(), '\n'));
+}
+
+TEST(Campaigns, DecileProgressEmitsFinalLineExactlyOnce) {
+  // Regression: `completed == total` used to early-return, so the 100%
+  // line never printed — and a campaign that fits in one chunk printed
+  // nothing at all.
+  std::ostringstream out;
+  const auto progress = cli::decile_progress(&out, "t");
+  progress({64, 640});
+  progress({640, 640});
+  progress({640, 640});  // duplicate completion callbacks stay deduped
+  const std::string text = out.str();
+  EXPECT_EQ(count_lines(text), 2);
+  EXPECT_NE(text.find("[t] 640/640 sims"), std::string::npos);
+}
+
+TEST(Campaigns, DecileProgressSingleChunkCampaignStillReports) {
+  std::ostringstream out;
+  const auto progress = cli::decile_progress(&out, "t");
+  progress({6, 6});  // one chunk: first and only callback is completion
+  EXPECT_EQ(out.str(), "[t] 6/6 sims\n");
+}
+
+TEST(Campaigns, DecileProgressCrossingSeveralDecilesEmitsOneLine) {
+  std::ostringstream out;
+  const auto progress = cli::decile_progress(&out, "t");
+  progress({10, 100});  // decile 1
+  progress({95, 100});  // jumps deciles 2..9 in one chunk
+  EXPECT_EQ(count_lines(out.str()), 2);
+  progress({96, 100});  // still decile 9: no new line
+  EXPECT_EQ(count_lines(out.str()), 2);
+  progress({100, 100});
+  EXPECT_EQ(count_lines(out.str()), 3);
+}
+
+TEST(Campaigns, DecileProgressNullStreamAndEmptyGridAreSafe) {
+  EXPECT_FALSE(cli::decile_progress(nullptr, "t"));
+  std::ostringstream out;
+  const auto progress = cli::decile_progress(&out, "t");
+  progress({0, 0});
+  progress({0, 10});  // nothing completed yet: nothing to say
+  EXPECT_TRUE(out.str().empty());
+}
+
 }  // namespace

@@ -15,6 +15,14 @@ namespace {
 
 using namespace scaa;
 
+/// Grid-construction shorthand: most tests only vary reps and seed.
+exp::CampaignConfig grid_config(int reps, std::uint64_t seed) {
+  exp::CampaignConfig config;
+  config.repetitions = reps;
+  config.base_seed = seed;
+  return config;
+}
+
 TEST(ThreadPool, RunsAllTasks) {
   exp::ThreadPool pool(4);
   std::atomic<int> count{0};
@@ -36,7 +44,7 @@ TEST(ThreadPool, ZeroMeansHardwareConcurrency) {
 
 TEST(Campaign, GridShapeMatchesPaper) {
   const auto grid = exp::make_grid(attack::StrategyKind::kContextAware, true,
-                                   true, 20, 2022);
+                                   true, grid_config(20, 2022));
   // 6 types x 4 scenarios x 3 gaps x 20 reps = 1,440 (paper Table III).
   EXPECT_EQ(grid.size(), 1440u);
   std::set<std::uint64_t> seeds;
@@ -45,8 +53,8 @@ TEST(Campaign, GridShapeMatchesPaper) {
 }
 
 TEST(Campaign, GridCoversAllCells) {
-  const auto grid =
-      exp::make_grid(attack::StrategyKind::kRandomSt, false, true, 1, 1);
+  const auto grid = exp::make_grid(attack::StrategyKind::kRandomSt, false,
+                                   true, grid_config(1, 1));
   EXPECT_EQ(grid.size(), 72u);
   std::set<std::tuple<int, int, int>> cells;
   for (const auto& item : grid)
@@ -58,9 +66,9 @@ TEST(Campaign, GridCoversAllCells) {
 TEST(Campaign, SameSeedsForDriverOnOff) {
   // The Table V pairing requires identical seeds across the two campaigns.
   const auto on = exp::make_grid(attack::StrategyKind::kContextAware, true,
-                                 true, 2, 99);
+                                 true, grid_config(2, 99));
   const auto off = exp::make_grid(attack::StrategyKind::kContextAware, true,
-                                  false, 2, 99);
+                                  false, grid_config(2, 99));
   ASSERT_EQ(on.size(), off.size());
   for (std::size_t i = 0; i < on.size(); ++i) {
     EXPECT_EQ(on[i].seed, off[i].seed);
@@ -68,9 +76,45 @@ TEST(Campaign, SameSeedsForDriverOnOff) {
   }
 }
 
+TEST(Campaign, RejectsNonPositiveRepetitions) {
+  // A repetitions value that is <= 0 after the documented fallback used to
+  // silently yield an empty grid (and empty-looking tables); it must fail
+  // loudly instead.
+  exp::CampaignConfig config = grid_config(0, 1);
+  EXPECT_THROW(exp::make_grid(attack::StrategyKind::kNone, false, true,
+                              config),
+               std::invalid_argument);
+  config.repetitions = -3;
+  EXPECT_THROW(exp::make_grid(attack::StrategyKind::kNone, false, true,
+                              config, -1),
+               std::invalid_argument);
+}
+
+TEST(Campaign, RepetitionOverrideFallsBackToConfig) {
+  // Override > 0 wins; override <= 0 falls back to config.repetitions —
+  // the behaviour the header documents (and CampaignConfig.repetitions is
+  // genuinely consumed, not a dead field).
+  const auto config = grid_config(2, 7);
+  const auto fallback = exp::make_grid(attack::StrategyKind::kRandomSt, false,
+                                       true, config);
+  EXPECT_EQ(fallback.size(), 144u);  // 6 types x 4 scenarios x 3 gaps x 2
+  const auto overridden = exp::make_grid(attack::StrategyKind::kRandomSt,
+                                         false, true, config, 1);
+  EXPECT_EQ(overridden.size(), 72u);
+}
+
+TEST(Campaign, GridSeedsComeFromConfigBaseSeed) {
+  const auto a = exp::make_grid(attack::StrategyKind::kRandomSt, false, true,
+                                grid_config(1, 1));
+  const auto b = exp::make_grid(attack::StrategyKind::kRandomSt, false, true,
+                                grid_config(1, 2));
+  ASSERT_EQ(a.size(), b.size());
+  EXPECT_NE(a[0].seed, b[0].seed);
+}
+
 TEST(Campaign, RunnerDeterministicAcrossThreadCounts) {
   auto grid = exp::make_grid(attack::StrategyKind::kContextAware, true, true,
-                             1, 5);
+                             grid_config(1, 5));
   grid.resize(12);  // keep the test fast
   exp::CampaignConfig one;
   one.threads = 1;
@@ -94,7 +138,7 @@ TEST(Campaign, StreamingMatchesVectorPathBitExactly) {
   // must span several chunks (kCampaignChunk = 64) so the cross-chunk
   // merge order is actually exercised, not just a single accumulator.
   auto grid = exp::make_grid(attack::StrategyKind::kContextAware, true, true,
-                             2, 11);
+                             grid_config(2, 11));
   grid.resize(2 * exp::kCampaignChunk + 2);
   exp::CampaignConfig cc;
   cc.threads = 4;
@@ -119,7 +163,8 @@ TEST(Campaign, StreamingMatchesVectorPathBitExactly) {
 }
 
 TEST(Campaign, StreamingReportsMonotonicProgress) {
-  auto grid = exp::make_grid(attack::StrategyKind::kNone, false, true, 1, 3);
+  auto grid = exp::make_grid(attack::StrategyKind::kNone, false, true,
+                             grid_config(1, 3));
   grid.resize(6);
   exp::CampaignConfig cc;
   cc.threads = 2;
@@ -192,7 +237,7 @@ TEST(Tables, Table4RendersAllRows) {
 
 TEST(Tables, PairDriverOutcomes) {
   auto grid = exp::make_grid(attack::StrategyKind::kContextAware, true, true,
-                             1, 7);
+                             grid_config(1, 7));
   grid.resize(6);
   auto off_grid = grid;
   for (auto& item : off_grid) item.driver_enabled = false;

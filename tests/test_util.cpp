@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <set>
 #include <sstream>
 
@@ -166,6 +167,54 @@ TEST(Stats, HistogramBinning) {
 TEST(Stats, HistogramRejectsBadArgs) {
   EXPECT_THROW(util::Histogram(1.0, 0.0, 4), std::invalid_argument);
   EXPECT_THROW(util::Histogram(0.0, 1.0, 0), std::invalid_argument);
+  // Non-finite bounds would make every scale factor NaN.
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_THROW(util::Histogram(-inf, 1.0, 4), std::invalid_argument);
+  EXPECT_THROW(util::Histogram(0.0, inf, 4), std::invalid_argument);
+  EXPECT_THROW(util::Histogram(std::nan(""), 1.0, 4), std::invalid_argument);
+}
+
+TEST(Stats, HistogramSurvivesNearMaxFiniteBounds) {
+  // (x - lo) and (hi - lo) both overflow to inf here, so the scale factor
+  // is inf/inf = NaN; the cast guard must route that to a bin, not UB.
+  util::Histogram h(-1e308, 1e308, 10);
+  h.add(9e307);
+  h.add(-9e307);
+  h.add(0.0);
+  EXPECT_EQ(h.total(), 3u);
+}
+
+TEST(Stats, HistogramClampsNonFiniteAndHugeSamples) {
+  // Regression: casting a NaN or out-of-long-range scaled sample to an
+  // integer type is UB; the clamp must happen in double space first.
+  util::Histogram h(0.0, 10.0, 10);
+  h.add(std::numeric_limits<double>::infinity());
+  h.add(-std::numeric_limits<double>::infinity());
+  h.add(1e308);   // scaled value overflows every integer type
+  h.add(-1e308);
+  EXPECT_EQ(h.bin_count(0), 2u);
+  EXPECT_EQ(h.bin_count(9), 2u);
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_EQ(h.nan_count(), 0u);
+}
+
+TEST(Stats, HistogramDropsAndCountsNaN) {
+  util::Histogram h(0.0, 10.0, 10);
+  h.add(std::numeric_limits<double>::quiet_NaN());
+  h.add(5.0);
+  h.add(std::nan("payload"));
+  EXPECT_EQ(h.total(), 1u);      // NaNs are not binned...
+  EXPECT_EQ(h.nan_count(), 2u);  // ...but they are accounted for
+  EXPECT_EQ(h.bin_count(5), 1u);
+}
+
+TEST(Stats, HistogramEdgeSamplesLandInEdgeBins) {
+  util::Histogram h(0.0, 10.0, 10);
+  h.add(0.0);                       // lo -> first bin
+  h.add(10.0);                      // hi (exclusive) -> clamped to last bin
+  h.add(std::nextafter(10.0, 0.0)); // just below hi -> last bin, no overflow
+  EXPECT_EQ(h.bin_count(0), 1u);
+  EXPECT_EQ(h.bin_count(9), 2u);
 }
 
 TEST(Csv, BasicRows) {

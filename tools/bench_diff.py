@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Report-only diff of benchmark trajectory points.
+
+Usage: bench_diff.py BASELINE FRESH [BASELINE FRESH ...]
+
+Each argument pair is a committed BENCH_*.json baseline and a freshly
+emitted copy (scaa_campaign bench --format json). For every row (keyed by
+the first column: strategy or slice) the script prints the wall-clock /
+throughput delta, and flags any difference in the integer aggregate columns
+— those are seed-for-seed deterministic, so a change there is a behavioral
+regression, not timing noise.
+
+Always exits 0: shared CI runners make timings too noisy to gate on. The
+output lands in the benchmark artifact so regressions are visible.
+"""
+
+import json
+import sys
+
+TIMING_COLUMNS = {"wall_s", "sims_per_s", "points_per_s"}
+
+
+def load(path):
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            return json.load(fh)
+    except (OSError, ValueError) as exc:
+        print(f"  [skip] cannot load {path}: {exc}")
+        return None
+
+
+def diff_pair(baseline_path, fresh_path):
+    print(f"== {baseline_path} vs {fresh_path}")
+    baseline = load(baseline_path)
+    fresh = load(fresh_path)
+    if baseline is None or fresh is None:
+        return
+    key = baseline["columns"][0]
+    base_rows = {row[key]: row for row in baseline["rows"]}
+    for row in fresh["rows"]:
+        name = row[key]
+        base = base_rows.get(name)
+        if base is None:
+            print(f"  {name}: NEW ROW (not in committed baseline)")
+            continue
+        deltas = []
+        drift = []
+        for col, value in row.items():
+            if col == key or col not in base:
+                continue
+            if col in TIMING_COLUMNS:
+                if isinstance(value, (int, float)) and isinstance(base[col], (int, float)):
+                    # Always print the pair; a 0.0 baseline only suppresses
+                    # the percentage (division), never the comparison.
+                    pct = f" ({100.0 * (value - base[col]) / base[col]:+.1f}%)" if base[col] else ""
+                    deltas.append(f"{col} {base[col]:.3f} -> {value:.3f}{pct}")
+            elif base[col] != value:
+                drift.append(f"{col} {base[col]} -> {value}")
+        line = "; ".join(deltas) if deltas else "no timing columns"
+        print(f"  {name}: {line}")
+        if drift:
+            print(f"  {name}: DETERMINISTIC COLUMNS DIFFER: {'; '.join(drift)}")
+    for name in base_rows:
+        if not any(row[key] == name for row in fresh["rows"]):
+            print(f"  {name}: MISSING from fresh run")
+
+
+def main(argv):
+    if len(argv) < 2 or len(argv) % 2 != 0:
+        print(__doc__)
+        return 0
+    for i in range(0, len(argv), 2):
+        diff_pair(argv[i], argv[i + 1])
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
