@@ -104,6 +104,68 @@ void BM_Kalman2D(benchmark::State& state) {
 }
 BENCHMARK(BM_Kalman2D);
 
+// --- Polyline::project: the per-vehicle-per-tick geometry kernel ------------
+
+const road::Road& micro_road() {
+  static const road::Road road = road::RoadBuilder::paper_road();
+  return road;
+}
+
+void BM_PolylineProjectHinted(benchmark::State& state) {
+  const geom::Polyline& line = micro_road().reference();
+  double s = 30.0;
+  double hint = -1.0;
+  for (auto _ : state) {
+    s += 0.3;
+    if (s > line.length() - 10.0) s = 30.0;
+    const auto proj =
+        line.project(line.position_at(s) + geom::Vec2{0.1, 1.2}, hint);
+    hint = proj.s;
+    benchmark::DoNotOptimize(proj);
+  }
+}
+BENCHMARK(BM_PolylineProjectHinted);
+
+void BM_PolylineProjectMany(benchmark::State& state) {
+  const geom::Polyline& line = micro_road().reference();
+  std::array<double, 4> s{30.0, 80.0, 130.0, 180.0};
+  std::array<geom::Vec2, 4> points;
+  std::array<double, 4> hints{-1.0, -1.0, -1.0, -1.0};
+  std::array<geom::Polyline::Projection, 4> out;
+  for (auto _ : state) {
+    for (std::size_t l = 0; l < 4; ++l) {
+      s[l] += 0.3;
+      if (s[l] > line.length() - 10.0) s[l] = 30.0;
+      points[l] = line.position_at(s[l]) + geom::Vec2{0.1, 1.2};
+    }
+    line.project_many(points, hints, out);
+    for (std::size_t l = 0; l < 4; ++l) hints[l] = out[l].s;
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 4);
+}
+BENCHMARK(BM_PolylineProjectMany);
+
+void BM_PolylineProjectFull(benchmark::State& state) {
+  const geom::Polyline& line = micro_road().reference();
+  const geom::Vec2 p = line.position_at(777.0) + geom::Vec2{0.3, -1.0};
+  for (auto _ : state) {
+    auto proj = line.project(p, -1.0);
+    benchmark::DoNotOptimize(proj);
+  }
+}
+BENCHMARK(BM_PolylineProjectFull);
+
+void BM_PolylineProjectReference(benchmark::State& state) {
+  const geom::Polyline& line = micro_road().reference();
+  const geom::Vec2 p = line.position_at(777.0) + geom::Vec2{0.3, -1.0};
+  for (auto _ : state) {
+    auto proj = line.project_reference(p);
+    benchmark::DoNotOptimize(proj);
+  }
+}
+BENCHMARK(BM_PolylineProjectReference);
+
 void BM_WorldStep(benchmark::State& state) {
   exp::CampaignItem item;
   item.strategy = attack::StrategyKind::kContextAware;

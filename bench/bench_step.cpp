@@ -1,19 +1,29 @@
 // Simulation hot-path microbenchmark: World construction cost with private
-// vs shared immutable assets (road + DBC), World::step() time, and full
-// simulation wall-clock. Together with bench_codec this quantifies the
-// campaign-scale optimizations: thousands of Monte-Carlo Worlds per table
-// share one road/database and step allocation-free.
+// vs shared immutable assets (road + DBC), the Polyline::project geometry
+// kernel (hinted single, batched project_many, and full scan — each against
+// the pre-SoA scalar implementation kept below as the baseline),
+// World::step() time, and full simulation wall-clock. Together with
+// bench_codec this quantifies the campaign-scale optimizations: thousands
+// of Monte-Carlo Worlds per table share one road/database and step
+// allocation-free over a vectorizable geometry kernel.
 //
 // Usage: bench_step [--sims N] [--format text|csv|json] [--out PATH]
 
+#include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <fstream>
 #include <iostream>
+#include <limits>
+#include <vector>
 
 #include "cli/args.hpp"
+#include "cli/campaigns.hpp"
 #include "cli/report.hpp"
 #include "exp/campaign.hpp"
+#include "geom/polyline.hpp"
 #include "sim/world.hpp"
+#include "util/rng.hpp"
 #include "util/stopwatch.hpp"
 
 namespace {
@@ -28,6 +38,84 @@ exp::CampaignItem bench_item(std::uint64_t seed) {
   item.seed = seed;
   return item;
 }
+
+// --- legacy projection baseline ---------------------------------------------
+
+/// The pre-SoA windowed projection (scalar loop, one division per segment,
+/// sqrt + normalized() per improvement, fixed +/-8 window with an edge
+/// fallback), reconstructed from the polyline's public points. Kept in the
+/// bench as the permanent baseline the `project_*` rows are measured
+/// against, so the speedup column keeps meaning something after the old
+/// implementation is gone from src/.
+class LegacyProjector {
+ public:
+  explicit LegacyProjector(const geom::Polyline& line) {
+    pts_.reserve(line.size());
+    for (std::size_t i = 0; i < line.size(); ++i)
+      pts_.push_back(line.point(i));
+    cum_.resize(pts_.size());
+    cum_[0] = 0.0;
+    for (std::size_t i = 1; i < pts_.size(); ++i)
+      cum_[i] = cum_[i - 1] + geom::distance(pts_[i - 1], pts_[i]);
+    inv_mean_seg_ =
+        static_cast<double>(pts_.size() - 1) / cum_.back();
+  }
+
+  geom::Polyline::Projection project(geom::Vec2 p,
+                                     double hint_s) const noexcept {
+    std::size_t lo = 0;
+    std::size_t hi = pts_.size() - 1;
+    if (hint_s >= 0.0 && pts_.size() > 8) {
+      const std::size_t center =
+          segment_index(std::min(hint_s, cum_.back()));
+      const std::size_t window = 8;
+      lo = center > window ? center - window : 0;
+      hi = std::min(center + window + 1, pts_.size() - 1);
+    }
+    auto best = geom::Polyline::Projection{};
+    double best_dist_sq = std::numeric_limits<double>::max();
+    for (std::size_t i = lo; i < hi; ++i) {
+      const geom::Vec2 a = pts_[i];
+      const geom::Vec2 ab = pts_[i + 1] - a;
+      const double len_sq = ab.norm_sq();
+      double t = len_sq > 0.0 ? (p - a).dot(ab) / len_sq : 0.0;
+      t = std::clamp(t, 0.0, 1.0);
+      const geom::Vec2 c = a + ab * t;
+      const double d_sq = (p - c).norm_sq();
+      if (d_sq < best_dist_sq) {
+        best_dist_sq = d_sq;
+        best.closest = c;
+        best.s = cum_[i] + std::sqrt(len_sq) * t;
+        best.lateral = ab.normalized().cross(p - c);
+      }
+    }
+    if (hint_s >= 0.0 && pts_.size() > 8) {
+      const bool stale_low = lo > 0 && best.s <= cum_[lo] + 1e-9;
+      const bool stale_high =
+          hi < pts_.size() - 1 && best.s >= cum_[hi] - 1e-9;
+      if (stale_low || stale_high) return project(p, -1.0);
+    }
+    return best;
+  }
+
+ private:
+  std::size_t segment_index(double s) const noexcept {
+    const std::size_t last = pts_.size() - 2;
+    std::size_t i = 0;
+    const double guess = s * inv_mean_seg_;
+    if (guess >= static_cast<double>(last))
+      i = last;
+    else if (guess > 0.0)
+      i = static_cast<std::size_t>(guess);
+    while (i < last && cum_[i + 1] <= s) ++i;
+    while (i > 0 && cum_[i] > s) --i;
+    return i;
+  }
+
+  std::vector<geom::Vec2> pts_;
+  std::vector<double> cum_;
+  double inv_mean_seg_ = 0.0;
+};
 
 }  // namespace
 
@@ -64,6 +152,90 @@ int main(int argc, char** argv) {
   }
   const double shared_s = seconds_since(t_shared);
 
+  // --- Polyline::project kernel: hinted single, batched, full scan -------
+  // Each fast row is timed against the legacy scalar implementation on the
+  // identical query stream; the checksum comparison doubles as an in-bench
+  // differential test (the kernels must agree exactly on this road).
+  const geom::Polyline& line = assets.road->reference();
+  const LegacyProjector legacy(line);
+  // Four lanes: the World's Ego + lead + trailing + neighbor. The stream
+  // comes from the same generator as scaa_campaign bench's kernel row
+  // (cli::projection_workload), tick-major so the batched sweep consumes
+  // natural spans.
+  constexpr std::size_t kLanes = 4;
+  const std::size_t proj_ticks = std::max<std::size_t>(sims, 10) * 5000;
+  const std::vector<geom::Vec2> proj_points =
+      cli::projection_workload(line, proj_ticks, kLanes);
+  const std::size_t proj_ops = proj_points.size();
+
+  double legacy_hint[kLanes] = {-1.0, -1.0, -1.0, -1.0};
+  double legacy_sum = 0.0;
+  const auto t_legacy = std::chrono::steady_clock::now();
+  for (std::size_t t = 0; t < proj_ticks; ++t) {
+    for (std::size_t l = 0; l < kLanes; ++l) {
+      const auto proj =
+          legacy.project(proj_points[t * kLanes + l], legacy_hint[l]);
+      legacy_hint[l] = proj.s;
+      legacy_sum += proj.lateral;
+    }
+  }
+  const double legacy_s = seconds_since(t_legacy);
+
+  double single_hint[kLanes] = {-1.0, -1.0, -1.0, -1.0};
+  double single_sum = 0.0;
+  const auto t_single = std::chrono::steady_clock::now();
+  for (std::size_t t = 0; t < proj_ticks; ++t) {
+    for (std::size_t l = 0; l < kLanes; ++l) {
+      const auto proj =
+          line.project(proj_points[t * kLanes + l], single_hint[l]);
+      single_hint[l] = proj.s;
+      single_sum += proj.lateral;
+    }
+  }
+  const double single_s = seconds_since(t_single);
+
+  std::vector<double> batch_hints(kLanes, -1.0);
+  std::vector<geom::Polyline::Projection> batch_out(kLanes);
+  double batch_sum = 0.0;
+  const auto t_batch = std::chrono::steady_clock::now();
+  for (std::size_t t = 0; t < proj_ticks; ++t) {
+    line.project_many(
+        {proj_points.data() + t * kLanes, kLanes}, batch_hints,
+        batch_out);
+    for (std::size_t l = 0; l < kLanes; ++l) {
+      batch_hints[l] = batch_out[l].s;
+      batch_sum += batch_out[l].lateral;
+    }
+  }
+  const double batch_s = seconds_since(t_batch);
+
+  if (single_sum != legacy_sum || batch_sum != legacy_sum) {
+    std::cerr << "bench_step: projection kernels disagree with the legacy "
+                 "baseline (single "
+              << single_sum << ", batched " << batch_sum << ", legacy "
+              << legacy_sum << ")\n";
+    return 1;
+  }
+
+  const std::size_t proj_full_ops = std::min<std::size_t>(proj_ops, 2000);
+  double proj_full_ref_sum = 0.0;
+  const auto t_proj_full_ref = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < proj_full_ops; ++i)
+    proj_full_ref_sum += line.project_reference(proj_points[i]).lateral;
+  const double proj_full_ref_s = seconds_since(t_proj_full_ref);
+
+  double proj_full_sum = 0.0;
+  const auto t_proj_full = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < proj_full_ops; ++i)
+    proj_full_sum += line.project(proj_points[i], -1.0).lateral;
+  const double proj_full_s = seconds_since(t_proj_full);
+
+  if (proj_full_sum != proj_full_ref_sum) {
+    std::cerr << "bench_step: full-scan projection disagrees with the "
+                 "reference\n";
+    return 1;
+  }
+
   // --- step() throughput -------------------------------------------------
   std::uint64_t steps = 0;
   const auto t_step = std::chrono::steady_clock::now();
@@ -88,9 +260,13 @@ int main(int argc, char** argv) {
   }
   const double full_s = seconds_since(t_full);
 
+  // speedup_vs_baseline: construct_* rows against the private-asset
+  // construction; project_* rows against the legacy scalar kernel (hinted
+  // rows) or the brute-force reference (full-scan rows); 0 = no baseline.
   cli::Report report(
-      "bench_step: World construction, step() and full-simulation timing",
-      {"name", "ops", "unit", "time_per_op", "speedup_vs_owned"});
+      "bench_step: World construction, Polyline::project kernel, step() "
+      "and full-simulation timing",
+      {"name", "ops", "unit", "time_per_op", "speedup_vs_baseline"});
   const auto per = [](double total_s, std::size_t n, double scale) {
     return n ? total_s * scale / static_cast<double>(n) : 0.0;
   };
@@ -101,6 +277,24 @@ int main(int argc, char** argv) {
                   static_cast<long long>(constructions), std::string("us"),
                   per(shared_s, constructions, 1e6),
                   shared_s > 0.0 ? owned_s / shared_s : 0.0});
+  report.add_row({std::string("project_hinted_legacy"),
+                  static_cast<long long>(proj_ops), std::string("ns"),
+                  per(legacy_s, proj_ops, 1e9), 1.0});
+  report.add_row({std::string("project_hinted"),
+                  static_cast<long long>(proj_ops), std::string("ns"),
+                  per(single_s, proj_ops, 1e9),
+                  single_s > 0.0 ? legacy_s / single_s : 0.0});
+  report.add_row({std::string("project_many"),
+                  static_cast<long long>(proj_ops), std::string("ns"),
+                  per(batch_s, proj_ops, 1e9),
+                  batch_s > 0.0 ? legacy_s / batch_s : 0.0});
+  report.add_row({std::string("project_full_reference"),
+                  static_cast<long long>(proj_full_ops), std::string("us"),
+                  per(proj_full_ref_s, proj_full_ops, 1e6), 1.0});
+  report.add_row({std::string("project_full"),
+                  static_cast<long long>(proj_full_ops), std::string("us"),
+                  per(proj_full_s, proj_full_ops, 1e6),
+                  proj_full_s > 0.0 ? proj_full_ref_s / proj_full_s : 0.0});
   report.add_row({std::string("world_step"), static_cast<long long>(steps),
                   std::string("us"), per(step_s, steps, 1e6), 0.0});
   report.add_row({std::string("full_simulation"),

@@ -1,22 +1,49 @@
 #include "cli/campaigns.hpp"
 
 #include <chrono>
+#include <cmath>
 #include <fstream>
 #include <iostream>
 #include <map>
 #include <memory>
 #include <optional>
 #include <ostream>
+#include <vector>
 
 #include "cli/args.hpp"
 #include "exp/campaign.hpp"
 #include "exp/checkpoint.hpp"
 #include "exp/param_space.hpp"
 #include "exp/tables.hpp"
+#include "geom/polyline.hpp"
+#include "road/builder.hpp"
 #include "sim/world.hpp"
+#include "util/rng.hpp"
 #include "util/stopwatch.hpp"
 
 namespace scaa::cli {
+
+std::vector<geom::Vec2> projection_workload(const geom::Polyline& line,
+                                            std::size_t ticks,
+                                            std::size_t lanes) {
+  std::vector<geom::Vec2> points;
+  points.reserve(ticks * lanes);
+  util::Rng rng(2022);
+  std::vector<double> s(lanes);
+  for (std::size_t l = 0; l < lanes; ++l)
+    s[l] = 30.0 + 50.0 * static_cast<double>(l);
+  for (std::size_t t = 0; t < ticks; ++t) {
+    for (std::size_t l = 0; l < lanes; ++l) {
+      s[l] += rng.uniform(0.25, 0.35);
+      if (s[l] > line.length() - 10.0) s[l] = 30.0;
+      const geom::Vec2 normal =
+          geom::heading_vector(line.heading_at(s[l])).perp();
+      points.push_back(line.position_at(s[l]) +
+                       normal * rng.uniform(-3.0, 3.0));
+    }
+  }
+  return points;
+}
 
 namespace {
 
@@ -300,6 +327,40 @@ Report bench_fig8_report(const CampaignOptions& options,
   return report;
 }
 
+/// The `Polyline::project` kernel row of BENCH_table4.json: one million
+/// hinted projections of the campaign hot-loop shape (a point advancing
+/// ~0.3 m per query along the paper road). "simulations" holds the fixed
+/// operation count and sims_per_s the projection throughput; the remaining
+/// aggregate columns are structurally zero, so bench_diff.py's
+/// deterministic-column check applies to this row unchanged.
+void add_project_kernel_row(Report& report, std::ostream* progress) {
+  const road::Road road = road::RoadBuilder::paper_road();
+  const geom::Polyline& line = road.reference();
+  constexpr std::size_t kOps = 1'000'000;
+  const std::vector<geom::Vec2> points =
+      projection_workload(line, kOps, /*lanes=*/1);
+
+  double hint = -1.0;
+  double sink = 0.0;
+  const auto start = std::chrono::steady_clock::now();
+  for (const geom::Vec2 p : points) {
+    const auto proj = line.project(p, hint);
+    hint = proj.s;
+    sink += proj.lateral;
+  }
+  const double wall = util::seconds_since(start);
+  // Keep the loop observable without polluting the report.
+  if (!std::isfinite(sink)) note(progress, "[bench] project sink overflow");
+
+  report.add_row(
+      {std::string("Polyline::project"), ll(kOps), wall,
+       wall > 0.0 ? static_cast<double>(kOps) / wall : 0.0, 0LL, 0LL, 0LL,
+       0LL, 0LL, 0.0, 0.0, 0.0});
+  note(progress, "[bench] Polyline::project: " + std::to_string(kOps) +
+                     " hinted projections in " + std::to_string(wall) +
+                     " s");
+}
+
 }  // namespace
 
 Report bench_report(const CampaignOptions& options, std::ostream* progress) {
@@ -344,6 +405,7 @@ Report bench_report(const CampaignOptions& options, std::ostream* progress) {
       {std::string("TOTAL"), ll(total_sims), total_wall,
        total_wall > 0.0 ? static_cast<double>(total_fresh) / total_wall : 0.0,
        0LL, 0LL, 0LL, 0LL, 0LL, 0.0, 0.0, 0.0});
+  add_project_kernel_row(report, progress);
   return report;
 }
 

@@ -15,8 +15,20 @@
 #include "attack/strategies.hpp"
 #include "cli/report.hpp"
 #include "exp/campaign.hpp"
+#include "geom/polyline.hpp"
 
 namespace scaa::cli {
+
+/// Deterministic projection query stream shaped like the campaign hot
+/// loop: @p lanes points (one per simulated vehicle) advancing ~0.3 m per
+/// tick near the centerline with +/-3 m lateral jitter, wrapping before
+/// the road end. Returns ticks * lanes points, tick-major. The single
+/// generator behind the `Polyline::project` row of `scaa_campaign bench`
+/// and the `project_*` rows of bench_step, so "same workload" comparisons
+/// across the two reports cannot drift apart.
+std::vector<geom::Vec2> projection_workload(const geom::Polyline& line,
+                                            std::size_t ticks,
+                                            std::size_t lanes);
 
 /// Knobs common to all campaigns; each subcommand maps its flags here.
 struct CampaignOptions {

@@ -5,9 +5,7 @@
 namespace scaa::geom {
 
 FrenetPoint FrenetFrame::to_frenet(Vec2 world) noexcept {
-  const auto proj = ref_->project(world, hint_s_);
-  hint_s_ = proj.s;
-  return {proj.s, proj.lateral};
+  return accept(ref_->project(world, hint_s_));
 }
 
 Vec2 FrenetFrame::to_world(FrenetPoint f) const noexcept {

@@ -29,6 +29,22 @@ class FrenetFrame {
   /// Convert a world position to Frenet coordinates.
   FrenetPoint to_frenet(Vec2 world) noexcept;
 
+  /// Record an externally computed projection of this frame's tracked point
+  /// — e.g. one lane of a batched Polyline::project_many sweep — as if
+  /// to_frenet had produced it: updates the hint and returns the Frenet
+  /// point. accept(reference().project(p, hint())) == to_frenet(p).
+  FrenetPoint accept(const Polyline::Projection& proj) noexcept {
+    hint_s_ = proj.s;
+    return {proj.s, proj.lateral};
+  }
+
+  /// Search hint for the next projection: arc length of the last accepted
+  /// projection, or negative before any (full search).
+  double hint() const noexcept { return hint_s_; }
+
+  /// The reference line this frame projects onto.
+  const Polyline& reference() const noexcept { return *ref_; }
+
   /// Convert Frenet coordinates to a world position.
   Vec2 to_world(FrenetPoint f) const noexcept;
 

@@ -1,32 +1,63 @@
 #include "geom/polyline.hpp"
 
 #include <algorithm>
+#include <cassert>
 #include <cmath>
 #include <limits>
 #include <stdexcept>
 
 namespace scaa::geom {
 
+namespace {
+
+/// Half-width (in segments) of the initial hinted search window. The step
+/// loop moves a vehicle well under one segment per tick, so the first
+/// window almost always contains the answer; stale hints widen from here.
+/// (Narrower than the historical fixed +/-8 window: the interior-acceptance
+/// retry in project() makes a miss a recoverable slow path rather than a
+/// wrong answer, so the common case can afford to scan less.)
+constexpr std::size_t kHintWindow = 4;
+
+}  // namespace
+
 Polyline::Polyline(std::vector<Vec2> points) : pts_(std::move(points)) {
   if (pts_.size() < 2)
     throw std::invalid_argument("Polyline: needs at least 2 points");
+  const std::size_t nseg = pts_.size() - 1;
   cum_.resize(pts_.size());
+  headings_.resize(nseg);
+  x0_.resize(nseg);
+  y0_.resize(nseg);
+  dx_.resize(nseg);
+  dy_.resize(nseg);
+  inv_len_sq_.resize(nseg);
+  len_.resize(nseg);
+  tx_.resize(nseg);
+  ty_.resize(nseg);
+
   cum_[0] = 0.0;
-  for (std::size_t i = 1; i < pts_.size(); ++i) {
-    const double seg = distance(pts_[i - 1], pts_[i]);
-    if (seg <= 1e-12)
+  for (std::size_t i = 0; i < nseg; ++i) {
+    const Vec2 a = pts_[i];
+    const Vec2 d = pts_[i + 1] - a;
+    const double len_sq = d.norm_sq();
+    const double len = std::sqrt(len_sq);
+    if (len <= 1e-12)
       throw std::invalid_argument("Polyline: duplicate consecutive points");
-    cum_[i] = cum_[i - 1] + seg;
-  }
-  // Precompute per-segment tangent headings: heading_at() is the hottest
-  // query of the simulation loop (road tracking for every vehicle, every
-  // tick), and atan2 per call dominated its cost.
-  headings_.resize(pts_.size() - 1);
-  for (std::size_t i = 0; i + 1 < pts_.size(); ++i) {
-    const Vec2 d = pts_[i + 1] - pts_[i];
+    x0_[i] = a.x;
+    y0_[i] = a.y;
+    dx_[i] = d.x;
+    dy_[i] = d.y;
+    inv_len_sq_[i] = 1.0 / len_sq;
+    len_[i] = len;
+    tx_[i] = d.x / len;  // == d.normalized(), rounding included
+    ty_[i] = d.y / len;
+    // heading_at() is one of the hottest queries of the simulation loop
+    // (road tracking for every vehicle, every tick); atan2 per call
+    // dominated its cost before it was precomputed here.
     headings_[i] = std::atan2(d.y, d.x);
+    cum_[i + 1] = cum_[i] + len;
   }
-  inv_mean_seg_ = static_cast<double>(pts_.size() - 1) / length();
+  inv_mean_seg_ = static_cast<double>(nseg) / length();
 }
 
 std::size_t Polyline::segment_index(double s) const noexcept {
@@ -47,7 +78,6 @@ std::size_t Polyline::segment_index(double s) const noexcept {
 }
 
 Vec2 Polyline::position_at(double s) const noexcept {
-  if (pts_.empty()) return {};
   if (s <= 0.0) return pts_.front();
   if (s >= length()) return pts_.back();
   const std::size_t i = segment_index(s);
@@ -57,28 +87,159 @@ Vec2 Polyline::position_at(double s) const noexcept {
 }
 
 double Polyline::heading_at(double s) const noexcept {
-  if (pts_.size() < 2) return 0.0;
-  double sc = s;
-  if (sc < 0.0) sc = 0.0;
-  if (sc >= length()) sc = length() - 1e-9;
-  return headings_[segment_index(sc)];
+  // Index clamp instead of arc-length clamp: s past the end must yield the
+  // final segment's heading even when that segment is shorter than any
+  // epsilon a `length() - eps` clamp would have used.
+  if (s <= 0.0) return headings_.front();
+  if (s >= length()) return headings_.back();
+  return headings_[segment_index(s)];
+}
+
+std::size_t Polyline::best_segment(Vec2 p, std::size_t lo,
+                                   std::size_t hi) const noexcept {
+  const double px = p.x;
+  const double py = p.y;
+  const double* const x0 = x0_.data();
+  const double* const y0 = y0_.data();
+  const double* const dx = dx_.data();
+  const double* const dy = dy_.data();
+  const double* const ils = inv_len_sq_.data();
+
+  // Hinted windows are small (2 * kHintWindow + 1 segments on the first
+  // try); the multi-lane setup and merge below would cost as much as the
+  // scan itself, so they take a single branchless accumulator pair.
+  if (hi - lo <= 2 * kHintWindow + 1) {
+    double best_d = std::numeric_limits<double>::infinity();
+    std::size_t best = lo;
+    for (std::size_t k = lo; k < hi; ++k) {
+      const double rx = px - x0[k];
+      const double ry = py - y0[k];
+      double t = (rx * dx[k] + ry * dy[k]) * ils[k];
+      t = t < 0.0 ? 0.0 : t;
+      t = t > 1.0 ? 1.0 : t;
+      const double ex = rx - t * dx[k];
+      const double ey = ry - t * dy[k];
+      const double d = ex * ex + ey * ey;
+      const bool better = d < best_d;
+      best_d = better ? d : best_d;
+      best = better ? k : best;
+    }
+    return best;
+  }
+
+  // Four independent accumulator lanes so the distance scan has no
+  // loop-carried dependency: the compiler can keep all lanes in registers
+  // and vectorize the branchless select. Candidate cost is two FMA-shaped
+  // products for the foot parameter plus two for the error vector — no
+  // division, sqrt, or branch.
+  double best_d[4];
+  std::size_t best_i[4];
+  for (int l = 0; l < 4; ++l) {
+    best_d[l] = std::numeric_limits<double>::infinity();
+    best_i[l] = lo;
+  }
+
+  std::size_t i = lo;
+  for (; i + 4 <= hi; i += 4) {
+    for (int l = 0; l < 4; ++l) {
+      const std::size_t k = i + static_cast<std::size_t>(l);
+      const double rx = px - x0[k];
+      const double ry = py - y0[k];
+      double t = (rx * dx[k] + ry * dy[k]) * ils[k];
+      t = t < 0.0 ? 0.0 : t;
+      t = t > 1.0 ? 1.0 : t;
+      const double ex = rx - t * dx[k];
+      const double ey = ry - t * dy[k];
+      const double d = ex * ex + ey * ey;
+      const bool better = d < best_d[l];
+      best_d[l] = better ? d : best_d[l];
+      best_i[l] = better ? k : best_i[l];
+    }
+  }
+  for (; i < hi; ++i) {
+    const double rx = px - x0[i];
+    const double ry = py - y0[i];
+    double t = (rx * dx[i] + ry * dy[i]) * ils[i];
+    t = t < 0.0 ? 0.0 : t;
+    t = t > 1.0 ? 1.0 : t;
+    const double ex = rx - t * dx[i];
+    const double ey = ry - t * dy[i];
+    const double d = ex * ex + ey * ey;
+    const bool better = d < best_d[0];
+    best_d[0] = better ? d : best_d[0];
+    best_i[0] = better ? i : best_i[0];
+  }
+
+  // Merge lanes; exact ties resolve to the lowest segment index, matching
+  // the historical first-wins scalar scan.
+  std::size_t best = best_i[0];
+  double best_dist = best_d[0];
+  for (int l = 1; l < 4; ++l) {
+    if (best_d[l] < best_dist ||
+        (best_d[l] == best_dist && best_i[l] < best)) {
+      best_dist = best_d[l];
+      best = best_i[l];
+    }
+  }
+  return best;
+}
+
+Polyline::Projection Polyline::finalize(Vec2 p, std::size_t i) const noexcept {
+  // Same expressions, operand values, and evaluation order as the
+  // historical per-candidate computation (dx_/dy_ hold pts_[i+1] - pts_[i]
+  // exactly; len_[i] == sqrt(len_sq); {tx_,ty_} == (b - a).normalized()),
+  // so the result is bit-identical to project_reference's winning
+  // candidate while touching only the SoA arrays the scan just warmed.
+  const double rx = p.x - x0_[i];
+  const double ry = p.y - y0_[i];
+  const double len_sq = dx_[i] * dx_[i] + dy_[i] * dy_[i];
+  const double t =
+      std::clamp((rx * dx_[i] + ry * dy_[i]) / len_sq, 0.0, 1.0);
+  const double cx = x0_[i] + dx_[i] * t;
+  const double cy = y0_[i] + dy_[i] * t;
+  Projection out;
+  out.closest = {cx, cy};
+  out.s = cum_[i] + len_[i] * t;
+  out.lateral = tx_[i] * (p.y - cy) - ty_[i] * (p.x - cx);
+  return out;
 }
 
 Polyline::Projection Polyline::project(Vec2 p, double hint_s) const noexcept {
-  std::size_t lo = 0;
-  std::size_t hi = pts_.size() - 1;
-  if (hint_s >= 0.0 && pts_.size() > 8) {
-    // Search a window of segments around the hint; widen if the result lands
-    // on the window edge (the point moved further than expected).
-    const std::size_t center = segment_index(std::min(hint_s, length()));
-    const std::size_t window = 8;
-    lo = center > window ? center - window : 0;
-    hi = std::min(center + window + 1, pts_.size() - 1);
+  const std::size_t nseg = pts_.size() - 1;
+  if (hint_s >= 0.0 && nseg > 2 * kHintWindow) {
+    const std::size_t center = segment_index(hint_s);  // clamps past the end
+    for (std::size_t w = kHintWindow;; w *= 4) {
+      const std::size_t lo = center > w ? center - w : 0;
+      const std::size_t hi = std::min(center + w + 1, nseg);
+      const std::size_t best = best_segment(p, lo, hi);
+      // Accept only when the best segment is interior to the searched
+      // range: a best on the first or last searched segment — even one
+      // that coincides with a polyline boundary — means a closer segment
+      // may lie beyond the window (stale hint, teleported point, U-turn
+      // geometry), so widen and retry. The full range always terminates.
+      if ((lo == 0 && hi == nseg) || (best > lo && best + 1 < hi))
+        return finalize(p, best);
+    }
   }
+  return finalize(p, best_segment(p, 0, nseg));
+}
 
-  auto best = Projection{};
+void Polyline::project_many(std::span<const Vec2> points,
+                            std::span<const double> hints,
+                            std::span<Projection> out) const noexcept {
+  // A size mismatch is a caller bug: truncating silently would leave
+  // default-constructed projections (s=0 at the road origin) that read as
+  // valid Frenet data downstream.
+  assert(points.size() == out.size());
+  const std::size_t n = std::min(points.size(), out.size());
+  for (std::size_t k = 0; k < n; ++k)
+    out[k] = project(points[k], k < hints.size() ? hints[k] : -1.0);
+}
+
+Polyline::Projection Polyline::project_reference(Vec2 p) const noexcept {
+  Projection best{};
   double best_dist_sq = std::numeric_limits<double>::max();
-  for (std::size_t i = lo; i < hi; ++i) {
+  for (std::size_t i = 0; i + 1 < pts_.size(); ++i) {
     const Vec2 a = pts_[i];
     const Vec2 b = pts_[i + 1];
     const Vec2 ab = b - a;
@@ -94,16 +255,6 @@ Polyline::Projection Polyline::project(Vec2 p, double hint_s) const noexcept {
       const Vec2 tangent = ab.normalized();
       best.lateral = tangent.cross(p - c);
     }
-  }
-
-  // If a hinted search hit a window boundary that is not also a polyline
-  // boundary, the hint was stale; redo a full search. Happens at most on
-  // teleports (never in the step loop).
-  if (hint_s >= 0.0 && pts_.size() > 8) {
-    const bool stale_low = lo > 0 && best.s <= cum_[lo] + 1e-9;
-    const bool stale_high =
-        hi < pts_.size() - 1 && best.s >= cum_[hi] - 1e-9;
-    if (stale_low || stale_high) return project(p, -1.0);
   }
   return best;
 }

@@ -3,6 +3,8 @@
 /// @file polyline.hpp
 /// Arc-length-parameterized polylines, the backbone of the road centerline.
 
+#include <cstddef>
+#include <span>
 #include <vector>
 
 #include "geom/vec2.hpp"
@@ -12,16 +14,21 @@ namespace scaa::geom {
 /// A polyline with a precomputed cumulative arc-length table.
 /// Supports sampling position/heading at any arc length s and projecting a
 /// world point to the closest s (the key primitive for Frenet conversion).
+///
+/// Projection is the hottest geometry kernel of the simulation (it runs per
+/// vehicle per tick), so the constructor precomputes a structure-of-arrays
+/// mirror of the segments — origins, deltas, inverse squared lengths, unit
+/// tangents — and project() scans it with multiplications only: no
+/// distance(), sqrt, or division per candidate segment.
 class Polyline {
  public:
-  Polyline() = default;
-
   /// Construct from at least two points. Consecutive duplicate points are
-  /// rejected (they would produce a zero-length segment).
+  /// rejected (they would produce a zero-length segment), so every instance
+  /// carries >= 1 segment of positive length.
   explicit Polyline(std::vector<Vec2> points);
 
   /// Total arc length.
-  double length() const noexcept { return cum_.empty() ? 0.0 : cum_.back(); }
+  double length() const noexcept { return cum_.back(); }
 
   /// Number of points.
   std::size_t size() const noexcept { return pts_.size(); }
@@ -32,7 +39,8 @@ class Polyline {
   /// Position at arc length @p s (clamped to [0, length]).
   Vec2 position_at(double s) const noexcept;
 
-  /// Tangent heading (radians) at arc length @p s.
+  /// Tangent heading (radians) at arc length @p s (clamped to the first /
+  /// last segment's heading beyond the ends).
   double heading_at(double s) const noexcept;
 
   /// Projection result of a world point onto the polyline.
@@ -43,18 +51,65 @@ class Polyline {
   };
 
   /// Project @p p to the closest point on the polyline.
+  ///
   /// @p hint_s speeds up the search by starting near a previous projection
-  /// (pass a negative value for a full search). The simulation steps vehicles
-  /// a few centimetres per tick, so the hinted search is O(1) amortized.
+  /// (pass a negative value for a full search). The search scans a window
+  /// of segments around the hint and accepts the result only when the best
+  /// segment is interior to the window; a best on the window's first/last
+  /// searched segment means the true minimum may lie beyond it, so the
+  /// window is widened and the scan retried until the best is interior or
+  /// the window covers the whole polyline. The simulation steps vehicles a
+  /// few centimetres per tick, so the hinted search is O(1) amortized and
+  /// exact; even a teleported point recovers unless the geometry folds back
+  /// on itself closer than the point's offset (pass hint_s < 0 there).
   Projection project(Vec2 p, double hint_s = -1.0) const noexcept;
+
+  /// Project a batch of points in one structure-of-arrays sweep. For every
+  /// k, out[k] is exactly project(points[k], hints[k]) (hints[k] = -1 when
+  /// @p hints is empty) — the batched form exists so a caller with many
+  /// concurrently moving points (all vehicles in a simulation tick) issues
+  /// one call over the shared SoA segment arrays instead of N independent
+  /// searches. Sizes of @p points and @p out must match.
+  void project_many(std::span<const Vec2> points,
+                    std::span<const double> hints,
+                    std::span<Projection> out) const noexcept;
+
+  /// Brute-force all-segments reference projection in the pre-SoA scalar
+  /// arithmetic (one division per segment, sqrt per improvement). This is
+  /// the oracle of the differential test suite and the baseline of the
+  /// `project` benchmark rows; it is kept bit-compatible with the
+  /// historical implementation, and project(p, -1) must match it to <= 1
+  /// ulp in s and lateral.
+  Projection project_reference(Vec2 p) const noexcept;
 
  private:
   std::size_t segment_index(double s) const noexcept;
 
+  /// SoA distance scan over segments [lo, hi): returns the index of the
+  /// segment whose clamped foot point is nearest to @p p (first such index
+  /// on exact ties, like the historical scalar scan).
+  std::size_t best_segment(Vec2 p, std::size_t lo,
+                           std::size_t hi) const noexcept;
+
+  /// Exact projection onto segment @p i, in arithmetic bit-identical to the
+  /// historical per-candidate computation (division by the squared length,
+  /// precomputed sqrt/tangent with identical rounding).
+  Projection finalize(Vec2 p, std::size_t i) const noexcept;
+
   std::vector<Vec2> pts_;
   std::vector<double> cum_;       ///< cum_[i] = arc length at pts_[i]
   std::vector<double> headings_;  ///< per-segment tangent heading [rad]
-  double inv_mean_seg_ = 0.0;     ///< segments / length (index guess)
+
+  // SoA mirror of the segments, built once in the constructor. The scan
+  // kernel touches x0/y0/dx/dy/inv_len_sq only; len/tx/ty serve the exact
+  // finalize step (len[i] == sqrt(dx^2+dy^2) and {tx,ty} == normalized
+  // delta, both bit-identical to computing them from pts_ on the fly).
+  std::vector<double> x0_, y0_;        ///< segment origins
+  std::vector<double> dx_, dy_;        ///< segment deltas (b - a)
+  std::vector<double> inv_len_sq_;     ///< 1 / |b - a|^2
+  std::vector<double> len_;            ///< |b - a|
+  std::vector<double> tx_, ty_;        ///< unit tangents
+  double inv_mean_seg_ = 0.0;          ///< segments / length (index guess)
 };
 
 }  // namespace scaa::geom

@@ -1,6 +1,8 @@
 #include "sim/world.hpp"
 
 #include <algorithm>
+#include <array>
+#include <cassert>
 #include <cmath>
 
 #include "util/math.hpp"
@@ -162,17 +164,44 @@ const vehicle::VehicleState& World::ego_state() const noexcept {
   return ego_->state();
 }
 
+void World::project_vehicles(std::span<vehicle::Vehicle* const> vehicles) {
+  // Sized for every vehicle the World can own (Ego + lead + trailing +
+  // neighbor); the assert guards the stack buffers if an actor is added.
+  constexpr std::size_t kMaxVehicles = 4;
+  assert(vehicles.size() <= kMaxVehicles);
+  std::array<geom::Vec2, kMaxVehicles> points;
+  std::array<double, kMaxVehicles> hints;
+  std::array<geom::Polyline::Projection, kMaxVehicles> projections;
+  const std::size_t n = std::min(vehicles.size(), kMaxVehicles);
+  for (std::size_t i = 0; i < n; ++i) {
+    points[i] = vehicles[i]->state().pose.position;
+    hints[i] = vehicles[i]->frenet_hint();
+  }
+  road_->project_many({points.data(), n}, {hints.data(), n},
+                      {projections.data(), n});
+  for (std::size_t i = 0; i < n; ++i)
+    vehicles[i]->apply_projection(projections[i]);
+}
+
 void World::step_traffic() {
   const double dt = config_.dt;
   const road::Road& road = *road_;
   const auto wheelbase = config_.ego_params.wheelbase;
+
+  // Every command below reads only pre-step state (the trailing and
+  // neighbor laws follow the Ego, which steps later in the tick), so the
+  // traffic integrates first and the tick's Frenet refresh happens as one
+  // batched projection sweep.
+  std::array<vehicle::Vehicle*, 3> moved;
+  std::size_t n = 0;
 
   {
     vehicle::ActuatorCommand cmd;
     cmd.accel = lead_accel(config_.scenario.lead, time_, lead_->state().speed);
     cmd.steer_angle =
         tracking_steer(road, lead_->state(), lane0_center_, wheelbase);
-    lead_->step(cmd, dt);
+    lead_->integrate(cmd, dt);
+    moved[n++] = lead_.get();
   }
   if (trailing_) {
     const double gap =
@@ -183,7 +212,8 @@ void World::step_traffic() {
         trailing_accel(gap, trailing_->state().speed, ego_->state().speed);
     cmd.steer_angle =
         tracking_steer(road, trailing_->state(), lane0_center_, wheelbase);
-    trailing_->step(cmd, dt);
+    trailing_->integrate(cmd, dt);
+    moved[n++] = trailing_.get();
   }
   if (neighbor_) {
     // The neighbor moves with the flow around the Ego (platooning traffic),
@@ -198,19 +228,23 @@ void World::step_traffic() {
         -4.0, 2.0);
     cmd.steer_angle =
         tracking_steer(road, neighbor_->state(), lane1_center_, wheelbase);
-    neighbor_->step(cmd, dt);
+    neighbor_->integrate(cmd, dt);
+    moved[n++] = neighbor_.get();
   }
+  project_vehicles({moved.data(), n});
 }
 
-void World::publish_sensors() {
+void World::publish_sensors(double road_curvature, double road_heading) {
   const auto& ego = ego_->state();
   gps_->step(step_index_, ego);
 
   // The camera anchors to whatever lane the car currently occupies (lane
-  // re-lock after a departure), holding the last lane when off-road.
+  // re-lock after a departure), holding the last lane when off-road. Road
+  // queries at the Ego's arc length are hoisted by the caller.
   const int lane_now = road_->lane_at(ego.d);
   if (lane_now >= 0) camera_lane_ = static_cast<std::size_t>(lane_now);
-  camera_->step(step_index_, ego, camera_lane_);
+  camera_->step(step_index_, ego, camera_lane_,
+                {road_curvature, road_heading});
 
   std::optional<sensors::RadarModel::LeadTruth> lead_truth;
   if (lead_) {
@@ -237,8 +271,15 @@ void World::publish_sensors() {
 bool World::step() {
   if (finished_) return false;
 
+  // Road queries at the Ego's (pre-step) arc length, looked up once per
+  // tick and shared by the camera model and the driver observation below
+  // (each one is a polyline segment search).
+  const double ego_s = ego_->state().s;
+  const double road_curvature = road_->curvature_at(ego_s);
+  const double road_heading = road_->heading_at(ego_s);
+
   step_traffic();
-  publish_sensors();
+  publish_sensors(road_curvature, road_heading);
 
   if (attack_engine_) attack_engine_->step(time_, config_.dt);
 
@@ -246,11 +287,6 @@ bool World::step() {
 
   // Driver observation & possible takeover. The driver judges the commands
   // the car is executing (pedal/wheel positions) and the physical motion.
-  // Road queries at the Ego's arc length are looked up once per step and
-  // reused (each one is a polyline segment search).
-  const double ego_s = ego_->state().s;
-  const double road_curvature = road_->curvature_at(ego_s);
-  const double road_heading = road_->heading_at(ego_s);
   driver::DriverObservation obs;
   obs.adas_alert = controls_->alerts().any_active();
   obs.accel_cmd = gateway_accel_cmd_;
@@ -295,7 +331,9 @@ bool World::step() {
   vehicle::ActuatorCommand ego_cmd{gateway_accel_cmd_, gateway_steer_cmd_};
   if (driver_cmd.has_value()) ego_cmd = *driver_cmd;
   ego_cmd.steer_angle += steer_disturbance_;
-  ego_->step(ego_cmd, config_.dt);
+  ego_->integrate(ego_cmd, config_.dt);
+  vehicle::Vehicle* const ego_batch[] = {ego_.get()};
+  project_vehicles(ego_batch);
 
   // Safety monitoring on the post-step state.
   MonitorInputs mi;

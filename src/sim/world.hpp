@@ -7,6 +7,7 @@
 
 #include <memory>
 #include <optional>
+#include <span>
 
 #include "adas/controls.hpp"
 #include "attack/engine.hpp"
@@ -142,9 +143,15 @@ class World {
 
  private:
   void step_traffic();
-  void publish_sensors();
+  void publish_sensors(double road_curvature, double road_heading);
   vehicle::ActuatorCommand receive_actuator_commands();
   void record(Trace* trace, const vehicle::ActuatorCommand& cmd);
+
+  /// Complete the integrate() half-steps of @p vehicles: project all their
+  /// poses onto the road reference in one batched SoA sweep and write the
+  /// Frenet results back. Called once per tick for the traffic batch and
+  /// once for the Ego (whose command is only known mid-tick).
+  void project_vehicles(std::span<vehicle::Vehicle* const> vehicles);
 
   WorldConfig config_;
   std::shared_ptr<const road::Road> road_;  ///< shared or privately owned

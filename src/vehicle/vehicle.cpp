@@ -25,6 +25,11 @@ void Vehicle::set_speed(double speed) noexcept {
 }
 
 void Vehicle::step(const ActuatorCommand& cmd, double dt) {
+  integrate(cmd, dt);
+  refresh_frenet();
+}
+
+void Vehicle::integrate(const ActuatorCommand& cmd, double dt) {
   longitudinal_.step(cmd.accel, dt);
   lateral_.step(cmd.steer_angle, dt);
 
@@ -42,11 +47,17 @@ void Vehicle::step(const ActuatorCommand& cmd, double dt) {
   state_.accel = longitudinal_.accel();
   state_.steer_angle = lateral_.steer_angle();
   state_.yaw_rate = yaw_rate;
-  refresh_frenet();
 }
 
 void Vehicle::refresh_frenet() {
   const auto f = frenet_.to_frenet(state_.pose.position);
+  state_.s = f.s;
+  state_.d = f.d;
+}
+
+void Vehicle::apply_projection(
+    const geom::Polyline::Projection& proj) noexcept {
+  const auto f = frenet_.accept(proj);
   state_.s = f.s;
   state_.d = f.d;
 }

@@ -38,8 +38,23 @@ class Vehicle {
   Vehicle(const road::Road& road, const VehicleParams& params, double s0,
           double d0, double speed);
 
-  /// Advance one simulation step of @p dt seconds under @p cmd.
+  /// Advance one simulation step of @p dt seconds under @p cmd
+  /// (integrate() followed by a self-contained Frenet refresh).
   void step(const ActuatorCommand& cmd, double dt);
+
+  /// Advance dynamics and world pose only, WITHOUT refreshing the Frenet
+  /// state. The caller must complete the step with apply_projection() —
+  /// this split lets the World project every vehicle of a tick in one
+  /// batched road::Road::project_many sweep.
+  void integrate(const ActuatorCommand& cmd, double dt);
+
+  /// Frenet-search hint for this vehicle: arc length of its last
+  /// projection (negative before the first one).
+  double frenet_hint() const noexcept { return frenet_.hint(); }
+
+  /// Complete an integrate() step with an externally computed projection of
+  /// state().pose.position; equivalent to the refresh step() performs.
+  void apply_projection(const geom::Polyline::Projection& proj) noexcept;
 
   /// Current ground-truth state.
   const VehicleState& state() const noexcept { return state_; }

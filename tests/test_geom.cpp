@@ -7,6 +7,7 @@
 #include "geom/frenet.hpp"
 #include "geom/polyline.hpp"
 #include "geom/vec2.hpp"
+#include "util/rng.hpp"
 #include "util/units.hpp"
 
 namespace {
@@ -78,6 +79,54 @@ TEST(Polyline, HeadingFollowsSegments) {
   EXPECT_NEAR(line.heading_at(15.0), kPi / 2.0, 1e-12);
 }
 
+TEST(Polyline, SamplingClampsExactlyToEndpoints) {
+  // The s <= 0 / s >= length branches must return the endpoint VALUES, not
+  // epsilon-interpolated neighbours.
+  const geom::Polyline line({{1.5, -2.0}, {7.5, 1.0}, {9.0, 8.0}});
+  EXPECT_EQ(line.position_at(0.0).x, 1.5);
+  EXPECT_EQ(line.position_at(-1e300).y, -2.0);
+  EXPECT_EQ(line.position_at(line.length()).x, 9.0);
+  EXPECT_EQ(line.position_at(1e300).y, 8.0);
+  EXPECT_EQ(line.heading_at(-3.0), line.heading_at(0.0));
+  EXPECT_EQ(line.heading_at(line.length() + 5.0),
+            line.heading_at(line.length()));
+}
+
+TEST(Polyline, HeadingAtEndUsesIndexClampNotArcEpsilon) {
+  // Final segment shorter than the historical `length() - 1e-9` clamp: an
+  // arc-length clamp would land in the SECOND-TO-LAST segment and report
+  // its heading; the index clamp must report the final segment's.
+  const geom::Polyline line({{0, 0}, {10, 0}, {10.0, 1e-10}});
+  EXPECT_NEAR(line.heading_at(line.length()), kPi / 2.0, 1e-12);
+  EXPECT_NEAR(line.heading_at(line.length() + 1.0), kPi / 2.0, 1e-12);
+  // Interior queries are untouched.
+  EXPECT_NEAR(line.heading_at(5.0), 0.0, 1e-12);
+}
+
+TEST(Polyline, SegmentIndexHandlesExtremeNonUniformSpacing) {
+  // 200 segments of 0.01 m followed by one of 100 m: the scaled
+  // segment-index guess is maximally wrong in both directions (a small s
+  // guesses the long tail, a large s guesses past the end), and the
+  // monotone walk must still land on the exact segment.
+  std::vector<Vec2> pts;
+  for (int i = 0; i <= 200; ++i) pts.push_back({0.01 * i, 0.0});
+  pts.push_back({2.0, 100.0});  // heading pi/2 for the final long segment
+  const geom::Polyline fine_then_coarse(pts);
+  EXPECT_NEAR(fine_then_coarse.heading_at(0.5), 0.0, 1e-12);
+  EXPECT_NEAR(fine_then_coarse.heading_at(1.999), 0.0, 1e-12);
+  EXPECT_NEAR(fine_then_coarse.heading_at(2.5), kPi / 2.0, 1e-12);
+  EXPECT_NEAR(fine_then_coarse.position_at(1.0).x, 1.0, 1e-12);
+  EXPECT_NEAR(fine_then_coarse.position_at(52.0).y, 50.0, 1e-9);
+
+  // And the mirror image: one long segment, then a fine tail.
+  std::vector<Vec2> pts2{{0.0, 0.0}, {100.0, 0.0}};
+  for (int i = 1; i <= 200; ++i) pts2.push_back({100.0, 0.01 * i});
+  const geom::Polyline coarse_then_fine(pts2);
+  EXPECT_NEAR(coarse_then_fine.heading_at(50.0), 0.0, 1e-12);
+  EXPECT_NEAR(coarse_then_fine.heading_at(101.5), kPi / 2.0, 1e-12);
+  EXPECT_NEAR(coarse_then_fine.position_at(100.5).y, 0.5, 1e-12);
+}
+
 TEST(Polyline, ProjectionSignedLateral) {
   const geom::Polyline line({{0, 0}, {100, 0}});
   const auto left = line.project({50.0, 2.0});
@@ -104,6 +153,19 @@ TEST(Polyline, HintedProjectionMatchesFull) {
     EXPECT_NEAR(full.s, hinted.s, 1e-6);
     EXPECT_NEAR(full.lateral, hinted.lateral, 1e-9);
     hint = hinted.s;
+  }
+}
+
+TEST(Polyline, ProjectManySpansMatchSingleCalls) {
+  const geom::Polyline line({{0, 0}, {40, 0}, {80, 10}, {120, 40}});
+  const std::vector<Vec2> points{{10.0, 3.0}, {60.0, -2.0}, {118.0, 45.0}};
+  const std::vector<double> hints{-1.0, 55.0, 0.0};
+  std::vector<geom::Polyline::Projection> batch(points.size());
+  line.project_many(points, hints, batch);
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const auto single = line.project(points[i], hints[i]);
+    EXPECT_EQ(batch[i].s, single.s);
+    EXPECT_EQ(batch[i].lateral, single.lateral);
   }
 }
 
@@ -135,6 +197,45 @@ TEST(Frenet, StraightLineZeroCurvature) {
   const geom::Polyline line({{0, 0}, {1000, 0}});
   geom::FrenetFrame frame(line);
   EXPECT_NEAR(frame.curvature_at(500.0), 0.0, 1e-12);
+}
+
+TEST(Frenet, HintSurvivesTeleportingPoints) {
+  // The frame caches the last projection as a hint. A point that jumps the
+  // full length of a (non-folding) arc must still convert exactly: the
+  // stale hint is invalidated by the widening retry, never trusted.
+  std::vector<Vec2> pts;
+  for (int i = 0; i <= 2000; ++i) {
+    const double t = i * 0.0005;  // 1 rad of a 1 km arc
+    pts.push_back({1000.0 * std::sin(t), 1000.0 * (1.0 - std::cos(t))});
+  }
+  const geom::Polyline line(pts);
+  geom::FrenetFrame frame(line);
+  geom::FrenetFrame fresh(line);
+
+  util::Rng rng(77);
+  for (int i = 0; i < 200; ++i) {
+    const double s = rng.uniform(1.0, line.length() - 1.0);
+    const double d = rng.uniform(-4.0, 4.0);
+    const Vec2 world = frame.to_world({s, d});
+    const auto hinted = frame.to_frenet(world);   // hint: previous teleport
+    const auto cold = fresh.reference().project(world, -1.0);
+    EXPECT_EQ(hinted.s, cold.s) << "i=" << i;
+    EXPECT_EQ(hinted.d, cold.lateral) << "i=" << i;
+    EXPECT_EQ(frame.hint(), hinted.s);
+  }
+}
+
+TEST(Frenet, AcceptMatchesToFrenet) {
+  const geom::Polyline line({{0, 0}, {50, 0}, {100, 30}});
+  geom::FrenetFrame via_accept(line);
+  geom::FrenetFrame via_to_frenet(line);
+  const Vec2 p{42.0, 1.2};
+  const auto direct = via_to_frenet.to_frenet(p);
+  const auto accepted =
+      via_accept.accept(line.project(p, via_accept.hint()));
+  EXPECT_EQ(accepted.s, direct.s);
+  EXPECT_EQ(accepted.d, direct.d);
+  EXPECT_EQ(via_accept.hint(), via_to_frenet.hint());
 }
 
 }  // namespace

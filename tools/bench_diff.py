@@ -10,6 +10,11 @@ throughput delta, and flags any difference in the integer aggregate columns
 — those are seed-for-seed deterministic, so a change there is a behavioral
 regression, not timing noise.
 
+BENCH_table4.json also carries kernel rows (currently "Polyline::project"):
+there "simulations" is the fixed operation count and sims_per_s the kernel
+throughput (projections/s). The deterministic-column check applies to them
+unchanged — the op count drifting means the benchmark workload changed.
+
 Always exits 0: shared CI runners make timings too noisy to gate on. The
 output lands in the benchmark artifact so regressions are visible.
 """
@@ -18,6 +23,10 @@ import json
 import sys
 
 TIMING_COLUMNS = {"wall_s", "sims_per_s", "points_per_s"}
+
+# Rows measuring an isolated kernel rather than a campaign slice, annotated
+# so a reader of the artifact does not misread ops/s as simulations/s.
+KERNEL_ROWS = {"Polyline::project"}
 
 
 def load(path):
@@ -57,7 +66,8 @@ def diff_pair(baseline_path, fresh_path):
             elif base[col] != value:
                 drift.append(f"{col} {base[col]} -> {value}")
         line = "; ".join(deltas) if deltas else "no timing columns"
-        print(f"  {name}: {line}")
+        tag = " [kernel row: ops and ops/s]" if name in KERNEL_ROWS else ""
+        print(f"  {name}: {line}{tag}")
         if drift:
             print(f"  {name}: DETERMINISTIC COLUMNS DIFFER: {'; '.join(drift)}")
     for name in base_rows:
