@@ -91,6 +91,60 @@ void BM_PubSubRoundtrip(benchmark::State& state) {
 }
 BENCHMARK(BM_PubSubRoundtrip);
 
+// --- PubSubBus::publish: typed fast path vs the lazily serialized tap -------
+
+void BM_BusPublishTyped(benchmark::State& state) {
+  // Campaign steady state: typed subscribers only, so publish() never
+  // serializes and never allocates.
+  msg::PubSubBus bus;
+  msg::Latest<msg::CarState> latest(bus);
+  msg::CarState m;
+  m.speed = 25.0;
+  m.cruise_enabled = true;
+  for (auto _ : state) {
+    ++m.mono_time;
+    m.speed += 0.001;
+    bus.publish(m);
+    benchmark::DoNotOptimize(latest.value());
+  }
+}
+BENCHMARK(BM_BusPublishTyped);
+
+void BM_BusPublishTapped(benchmark::State& state) {
+  // An eavesdropper's raw tap forces the wire path: one exact-size encode
+  // per publish into the reused per-topic scratch buffer.
+  msg::PubSubBus bus;
+  msg::Latest<msg::CarState> latest(bus);
+  std::uint64_t byte_sum = 0;
+  bus.subscribe_raw(msg::Topic::kCarState,
+                    [&byte_sum](const msg::WireFrame& f) {
+                      for (const std::uint8_t b : f.payload) byte_sum += b;
+                    });
+  msg::CarState m;
+  m.speed = 25.0;
+  m.cruise_enabled = true;
+  for (auto _ : state) {
+    ++m.mono_time;
+    m.speed += 0.001;
+    bus.publish(m);
+    benchmark::DoNotOptimize(byte_sum);
+  }
+}
+BENCHMARK(BM_BusPublishTapped);
+
+void BM_BusPublishUnsubscribed(benchmark::State& state) {
+  // No subscribers at all: publish still stamps the sequence (a mid-run
+  // tap must see gap-free numbering) but does nothing else.
+  msg::PubSubBus bus;
+  msg::CarState m;
+  for (auto _ : state) {
+    ++m.mono_time;
+    bus.publish(m);
+    benchmark::DoNotOptimize(bus.published_count(msg::Topic::kCarState));
+  }
+}
+BENCHMARK(BM_BusPublishUnsubscribed);
+
 void BM_Kalman2D(benchmark::State& state) {
   adas::Kalman2D kf(6.0, 0.0625, 0.0144);
   kf.init(100.0, -10.0);

@@ -1,20 +1,28 @@
 // Simulation hot-path microbenchmark: World construction cost with private
 // vs shared immutable assets (road + DBC), the Polyline::project geometry
 // kernel (hinted single, batched project_many, and full scan — each against
-// the pre-SoA scalar implementation kept below as the baseline),
-// World::step() time, and full simulation wall-clock. Together with
-// bench_codec this quantifies the campaign-scale optimizations: thousands
-// of Monte-Carlo Worlds per table share one road/database and step
-// allocation-free over a vectorizable geometry kernel.
+// the pre-SoA scalar implementation kept below as the baseline), the
+// pub/sub bus publish path (zero-copy typed dispatch and the lazily
+// serialized tapped path, each against the pre-refactor
+// serialize-everything bus kept below as the baseline), World::step()
+// time, and full simulation wall-clock. Together with bench_codec this
+// quantifies the campaign-scale optimizations: thousands of Monte-Carlo
+// Worlds per table share one road/database, step allocation-free over a
+// vectorizable geometry kernel, and exchange messages without touching a
+// serializer.
 //
 // Usage: bench_step [--sims N] [--format text|csv|json] [--out PATH]
 
 #include <algorithm>
+#include <array>
 #include <chrono>
 #include <cmath>
 #include <fstream>
+#include <functional>
 #include <iostream>
 #include <limits>
+#include <map>
+#include <type_traits>
 #include <vector>
 
 #include "cli/args.hpp"
@@ -22,6 +30,7 @@
 #include "cli/report.hpp"
 #include "exp/campaign.hpp"
 #include "geom/polyline.hpp"
+#include "msg/bus.hpp"
 #include "sim/world.hpp"
 #include "util/rng.hpp"
 #include "util/stopwatch.hpp"
@@ -116,6 +125,104 @@ class LegacyProjector {
   std::vector<double> cum_;
   double inv_mean_seg_ = 0.0;
 };
+
+// --- legacy pub/sub baseline ------------------------------------------------
+
+/// The pre-refactor PubSubBus, reconstructed as the permanent in-bench
+/// baseline the `bus_publish_*` rows are measured against: std::map
+/// subscription/sequence tables, eager serialization of every publish into
+/// a fresh owning frame, typed subscribers decoding the bytes per
+/// delivery, and a snapshot copy of the handler list per dispatch.
+class LegacyPubSubBus {
+ public:
+  struct Frame {
+    msg::Topic topic{};
+    std::uint64_t sequence = 0;
+    std::vector<std::uint8_t> payload;
+  };
+  using RawHandler = std::function<void(const Frame&)>;
+
+  std::uint64_t subscribe_raw(msg::Topic topic, RawHandler handler) {
+    const std::uint64_t id = next_id_++;
+    subs_[topic].push_back({id, std::move(handler)});
+    return id;
+  }
+
+  template <typename M>
+  std::uint64_t subscribe(std::function<void(const M&)> handler) {
+    return subscribe_raw(msg::TopicOf<M>::value,
+                         [h = std::move(handler)](const Frame& frame) {
+                           M m{};
+                           msg::deserialize(frame.payload, m);
+                           h(m);
+                         });
+  }
+
+  template <typename M>
+  void publish(const M& m) {
+    Frame frame;
+    frame.topic = msg::TopicOf<M>::value;
+    frame.sequence = ++sequences_[frame.topic];
+    frame.payload = msg::serialize(m);
+    const auto it = subs_.find(frame.topic);
+    if (it == subs_.end()) return;
+    const auto snapshot = it->second;
+    for (const auto& sub : snapshot) sub.handler(frame);
+  }
+
+ private:
+  struct Subscription {
+    std::uint64_t id;
+    RawHandler handler;
+  };
+  std::map<msg::Topic, std::vector<Subscription>> subs_;
+  std::map<msg::Topic, std::uint64_t> sequences_;
+  std::uint64_t next_id_ = 1;
+};
+
+/// Typed delivery checksum: every subscriber folds one field of every
+/// message it receives into the sum, in delivery order, so the fast bus
+/// must reproduce the legacy bus's sum bit-for-bit.
+struct BusSinks {
+  double sum = 0.0;
+  std::uint64_t count = 0;
+};
+
+template <typename Bus>
+void attach_typed_sinks(Bus& bus, BusSinks& s) {
+  bus.template subscribe<msg::CarState>(
+      [&s](const msg::CarState& m) { s.sum += m.speed; ++s.count; });
+  bus.template subscribe<msg::CarControl>(
+      [&s](const msg::CarControl& m) { s.sum += m.accel; ++s.count; });
+  bus.template subscribe<msg::ControlsState>([&s](const msg::ControlsState& m) {
+    s.sum += static_cast<double>(m.alert_count);
+    ++s.count;
+  });
+  bus.template subscribe<msg::GpsLocationExternal>(
+      [&s](const msg::GpsLocationExternal& m) { s.sum += m.speed; ++s.count; });
+  bus.template subscribe<msg::ModelV2>(
+      [&s](const msg::ModelV2& m) { s.sum += m.left_lane_line; ++s.count; });
+  bus.template subscribe<msg::RadarState>([&s](const msg::RadarState& m) {
+    s.sum += m.lead_distance;
+    ++s.count;
+  });
+}
+
+std::uint64_t fnv1a_accumulate(std::uint64_t h, std::uint64_t sequence,
+                               const std::uint8_t* data, std::size_t size) {
+  constexpr std::uint64_t kPrime = 1099511628211ull;
+  for (std::size_t i = 0; i < 8; ++i) {
+    h ^= static_cast<std::uint8_t>(sequence >> (8 * i));
+    h *= kPrime;
+  }
+  for (std::size_t i = 0; i < size; ++i) {
+    h ^= data[i];
+    h *= kPrime;
+  }
+  return h;
+}
+
+constexpr std::uint64_t kFnvSeed = 14695981039346656037ull;
 
 }  // namespace
 
@@ -236,6 +343,90 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  // --- pub/sub bus: zero-copy typed dispatch vs the legacy bus ------------
+  // Identical deterministic publish stream (cli::bus_tick_workload, shared
+  // with scaa_campaign bench's PubSubBus::publish row) against identical
+  // subscriber sets; the typed checksums must agree bit-for-bit with the
+  // legacy serialize-everything bus, and the tapped run's wire hash must
+  // match an eager serialize(m) oracle byte-for-byte — the in-bench
+  // differential test for the lazy path.
+  const std::uint64_t bus_ticks = std::max<std::size_t>(sims, 10) * 5000;
+  const std::uint64_t bus_ops = cli::bus_tick_workload_count(bus_ticks);
+
+  // Oracle: what the old eager bus put on the wire, per topic counter.
+  std::uint64_t oracle_hash = kFnvSeed;
+  {
+    std::array<std::uint64_t, msg::kTopicCount> seqs{};
+    cli::bus_tick_workload(bus_ticks, [&](const auto& m) {
+      using M = std::decay_t<decltype(m)>;
+      const auto bytes = msg::serialize(m);
+      oracle_hash = fnv1a_accumulate(
+          oracle_hash, ++seqs[msg::topic_index(msg::TopicOf<M>::value)],
+          bytes.data(), bytes.size());
+    });
+  }
+
+  BusSinks legacy_sinks;
+  double bus_legacy_s = 0.0;
+  {
+    LegacyPubSubBus bus;
+    attach_typed_sinks(bus, legacy_sinks);
+    const auto t0 = std::chrono::steady_clock::now();
+    cli::bus_tick_workload(bus_ticks,
+                           [&bus](const auto& m) { bus.publish(m); });
+    bus_legacy_s = seconds_since(t0);
+  }
+
+  BusSinks typed_sinks;
+  double bus_typed_s = 0.0;
+  {
+    msg::PubSubBus bus;
+    attach_typed_sinks(bus, typed_sinks);
+    const auto t0 = std::chrono::steady_clock::now();
+    cli::bus_tick_workload(bus_ticks,
+                           [&bus](const auto& m) { bus.publish(m); });
+    bus_typed_s = seconds_since(t0);
+  }
+
+  BusSinks tapped_sinks;
+  std::uint64_t tapped_hash = kFnvSeed;
+  double bus_tapped_s = 0.0;
+  {
+    msg::PubSubBus bus;
+    attach_typed_sinks(bus, tapped_sinks);
+    // A record-all style tap on every topic (the eavesdropper + drive-log
+    // shape) forces the lazy wire path on every publish.
+    for (std::size_t i = 1; i <= msg::kTopicCount; ++i) {
+      bus.subscribe_raw(static_cast<msg::Topic>(i),
+                        [&tapped_hash](const msg::WireFrame& f) {
+                          tapped_hash = fnv1a_accumulate(
+                              tapped_hash, f.sequence, f.payload.data(),
+                              f.payload.size());
+                        });
+    }
+    const auto t0 = std::chrono::steady_clock::now();
+    cli::bus_tick_workload(bus_ticks,
+                           [&bus](const auto& m) { bus.publish(m); });
+    bus_tapped_s = seconds_since(t0);
+  }
+
+  if (typed_sinks.sum != legacy_sinks.sum ||
+      typed_sinks.count != legacy_sinks.count ||
+      tapped_sinks.sum != legacy_sinks.sum ||
+      tapped_sinks.count != legacy_sinks.count) {
+    std::cerr << "bench_step: typed bus dispatch disagrees with the legacy "
+                 "baseline (legacy "
+              << legacy_sinks.sum << "/" << legacy_sinks.count << ", typed "
+              << typed_sinks.sum << "/" << typed_sinks.count << ", tapped "
+              << tapped_sinks.sum << "/" << tapped_sinks.count << ")\n";
+    return 1;
+  }
+  if (tapped_hash != oracle_hash) {
+    std::cerr << "bench_step: lazily serialized frames are not "
+                 "byte-identical to the eager serialization oracle\n";
+    return 1;
+  }
+
   // --- step() throughput -------------------------------------------------
   std::uint64_t steps = 0;
   const auto t_step = std::chrono::steady_clock::now();
@@ -262,10 +453,12 @@ int main(int argc, char** argv) {
 
   // speedup_vs_baseline: construct_* rows against the private-asset
   // construction; project_* rows against the legacy scalar kernel (hinted
-  // rows) or the brute-force reference (full-scan rows); 0 = no baseline.
+  // rows) or the brute-force reference (full-scan rows); bus_publish_*
+  // rows against the legacy serialize-everything bus on the identical
+  // workload and typed subscriber set; 0 = no baseline.
   cli::Report report(
-      "bench_step: World construction, Polyline::project kernel, step() "
-      "and full-simulation timing",
+      "bench_step: World construction, Polyline::project kernel, "
+      "PubSubBus::publish, step() and full-simulation timing",
       {"name", "ops", "unit", "time_per_op", "speedup_vs_baseline"});
   const auto per = [](double total_s, std::size_t n, double scale) {
     return n ? total_s * scale / static_cast<double>(n) : 0.0;
@@ -295,6 +488,17 @@ int main(int argc, char** argv) {
                   static_cast<long long>(proj_full_ops), std::string("us"),
                   per(proj_full_s, proj_full_ops, 1e6),
                   proj_full_s > 0.0 ? proj_full_ref_s / proj_full_s : 0.0});
+  report.add_row({std::string("bus_publish_legacy"),
+                  static_cast<long long>(bus_ops), std::string("ns"),
+                  per(bus_legacy_s, bus_ops, 1e9), 1.0});
+  report.add_row({std::string("bus_publish_typed"),
+                  static_cast<long long>(bus_ops), std::string("ns"),
+                  per(bus_typed_s, bus_ops, 1e9),
+                  bus_typed_s > 0.0 ? bus_legacy_s / bus_typed_s : 0.0});
+  report.add_row({std::string("bus_publish_tapped"),
+                  static_cast<long long>(bus_ops), std::string("ns"),
+                  per(bus_tapped_s, bus_ops, 1e9),
+                  bus_tapped_s > 0.0 ? bus_legacy_s / bus_tapped_s : 0.0});
   report.add_row({std::string("world_step"), static_cast<long long>(steps),
                   std::string("us"), per(step_s, steps, 1e6), 0.0});
   report.add_row({std::string("full_simulation"),

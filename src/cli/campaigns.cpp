@@ -16,6 +16,7 @@
 #include "exp/param_space.hpp"
 #include "exp/tables.hpp"
 #include "geom/polyline.hpp"
+#include "msg/bus.hpp"
 #include "road/builder.hpp"
 #include "sim/world.hpp"
 #include "util/rng.hpp"
@@ -361,6 +362,44 @@ void add_project_kernel_row(Report& report, std::ostream* progress) {
                      " s");
 }
 
+/// The `PubSubBus::publish` kernel row of BENCH_table4.json: the
+/// steady-state publish mix of 200k 100 Hz ticks (cli::bus_tick_workload,
+/// shared with bench_step's bus_publish_* rows) delivered to typed latches
+/// on all six topics — the campaign's subscriber shape, where no raw tap
+/// is attached and the lazy wire path never serializes. "simulations"
+/// holds the fixed publish count and sims_per_s the publish throughput;
+/// the remaining aggregate columns are structurally zero, so
+/// bench_diff.py's deterministic-column check applies unchanged.
+void add_bus_kernel_row(Report& report, std::ostream* progress) {
+  constexpr std::uint64_t kTicks = 200'000;
+  const std::uint64_t ops = bus_tick_workload_count(kTicks);
+
+  msg::PubSubBus bus;
+  msg::Latest<msg::GpsLocationExternal> gps(bus);
+  msg::Latest<msg::ModelV2> model(bus);
+  msg::Latest<msg::RadarState> radar(bus);
+  msg::Latest<msg::CarState> car_state(bus);
+  msg::Latest<msg::CarControl> car_control(bus);
+  msg::Latest<msg::ControlsState> controls_state(bus);
+
+  const auto start = std::chrono::steady_clock::now();
+  bus_tick_workload(kTicks, [&bus](const auto& m) { bus.publish(m); });
+  const double wall = util::seconds_since(start);
+  // Keep the loop observable without polluting the report.
+  const double sink = gps.value().speed + radar.value().lead_distance +
+                      car_state.value().speed + model.value().left_lane_line +
+                      car_control.value().accel +
+                      static_cast<double>(controls_state.value().alert_count);
+  if (!std::isfinite(sink)) note(progress, "[bench] bus sink overflow");
+
+  report.add_row(
+      {std::string("PubSubBus::publish"), ll(ops), wall,
+       wall > 0.0 ? static_cast<double>(ops) / wall : 0.0, 0LL, 0LL, 0LL,
+       0LL, 0LL, 0.0, 0.0, 0.0});
+  note(progress, "[bench] PubSubBus::publish: " + std::to_string(ops) +
+                     " typed publishes in " + std::to_string(wall) + " s");
+}
+
 }  // namespace
 
 Report bench_report(const CampaignOptions& options, std::ostream* progress) {
@@ -406,6 +445,7 @@ Report bench_report(const CampaignOptions& options, std::ostream* progress) {
        total_wall > 0.0 ? static_cast<double>(total_fresh) / total_wall : 0.0,
        0LL, 0LL, 0LL, 0LL, 0LL, 0.0, 0.0, 0.0});
   add_project_kernel_row(report, progress);
+  add_bus_kernel_row(report, progress);
   return report;
 }
 

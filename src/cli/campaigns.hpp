@@ -16,6 +16,7 @@
 #include "cli/report.hpp"
 #include "exp/campaign.hpp"
 #include "geom/polyline.hpp"
+#include "msg/messages.hpp"
 
 namespace scaa::cli {
 
@@ -29,6 +30,74 @@ namespace scaa::cli {
 std::vector<geom::Vec2> projection_workload(const geom::Polyline& line,
                                             std::size_t ticks,
                                             std::size_t lanes);
+
+/// Deterministic pub/sub workload shaped like the simulator's steady
+/// state: for each of @p ticks 100 Hz ticks, invokes @p publish with
+/// carState, carControl and controlsState (every tick) plus
+/// gpsLocationExternal, modelV2 and radarState (every 5th tick), fields
+/// varying deterministically with the tick. The single generator behind
+/// the `PubSubBus::publish` row of `scaa_campaign bench` and the
+/// `bus_publish_*` rows of bench_step, so "same workload" comparisons
+/// across the two reports cannot drift apart.
+template <typename Fn>
+void bus_tick_workload(std::uint64_t ticks, Fn&& publish) {
+  for (std::uint64_t tick = 0; tick < ticks; ++tick) {
+    msg::CarState cs;
+    cs.mono_time = tick;
+    cs.speed = 25.0 + 0.001 * static_cast<double>(tick % 977);
+    cs.accel = -0.2 + 0.0005 * static_cast<double>(tick % 211);
+    cs.steer_angle = 0.001 * static_cast<double>(tick % 89);
+    cs.cruise_speed = 26.8224;
+    cs.cruise_enabled = true;
+    cs.driver_torque = 0.1 * static_cast<double>(tick % 7);
+    publish(cs);
+    msg::CarControl cc;
+    cc.mono_time = tick;
+    cc.enabled = true;
+    cc.accel = -0.5 + 0.002 * static_cast<double>(tick % 499);
+    cc.steer_angle = 0.0005 * static_cast<double>(tick % 97);
+    publish(cc);
+    msg::ControlsState st;
+    st.mono_time = tick;
+    st.active = true;
+    st.steer_saturated = tick % 50 == 0;
+    st.fcw = false;
+    st.alert_count = static_cast<std::uint32_t>(tick % 3);
+    publish(st);
+    if (tick % 5 == 0) {
+      msg::GpsLocationExternal gps;
+      gps.mono_time = tick;
+      gps.latitude = 38.03 + 1e-6 * static_cast<double>(tick);
+      gps.longitude = -78.51 - 1e-6 * static_cast<double>(tick);
+      gps.speed = cs.speed;
+      gps.bearing = 0.7;
+      gps.has_fix = true;
+      publish(gps);
+      msg::ModelV2 model;
+      model.mono_time = tick;
+      model.left_lane_line = 1.85;
+      model.right_lane_line = -1.85;
+      model.left_line_prob = 0.97;
+      model.right_line_prob = 0.95;
+      model.path_curvature = 8.3e-4;
+      model.path_heading_error =
+          -0.002 + 1e-5 * static_cast<double>(tick % 41);
+      publish(model);
+      msg::RadarState radar;
+      radar.mono_time = tick;
+      radar.lead_valid = true;
+      radar.lead_distance = 60.0 - 0.01 * static_cast<double>(tick % 1000);
+      radar.lead_rel_speed = -0.5 + 0.001 * static_cast<double>(tick % 313);
+      radar.lead_speed = 24.0;
+      publish(radar);
+    }
+  }
+}
+
+/// Number of messages bus_tick_workload publishes over @p ticks ticks.
+constexpr std::uint64_t bus_tick_workload_count(std::uint64_t ticks) {
+  return ticks * 3 + (ticks + 4) / 5 * 3;
+}
 
 /// Knobs common to all campaigns; each subcommand maps its flags here.
 struct CampaignOptions {

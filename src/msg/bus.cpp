@@ -1,10 +1,11 @@
 #include "msg/bus.hpp"
 
 #include <algorithm>
+#include <stdexcept>
 
 namespace scaa::msg {
 
-std::string topic_name(Topic topic) {
+std::string_view topic_name(Topic topic) {
   switch (topic) {
     case Topic::kGpsLocationExternal: return "gpsLocationExternal";
     case Topic::kModelV2: return "modelV2";
@@ -16,18 +17,16 @@ std::string topic_name(Topic topic) {
   return "unknown";
 }
 
-std::vector<std::uint8_t> serialize(const GpsLocationExternal& m) {
-  Encoder e;
+void encode(Encoder& e, const GpsLocationExternal& m) {
   e.put_u64(m.mono_time);
   e.put_f64(m.latitude);
   e.put_f64(m.longitude);
   e.put_f64(m.speed);
   e.put_f64(m.bearing);
   e.put_bool(m.has_fix);
-  return e.take();
 }
 
-void deserialize(const std::vector<std::uint8_t>& bytes,
+void deserialize(std::span<const std::uint8_t> bytes,
                  GpsLocationExternal& m) {
   Decoder d(bytes);
   m.mono_time = d.get_u64();
@@ -38,8 +37,7 @@ void deserialize(const std::vector<std::uint8_t>& bytes,
   m.has_fix = d.get_bool();
 }
 
-std::vector<std::uint8_t> serialize(const ModelV2& m) {
-  Encoder e;
+void encode(Encoder& e, const ModelV2& m) {
   e.put_u64(m.mono_time);
   e.put_f64(m.left_lane_line);
   e.put_f64(m.right_lane_line);
@@ -47,10 +45,9 @@ std::vector<std::uint8_t> serialize(const ModelV2& m) {
   e.put_f64(m.right_line_prob);
   e.put_f64(m.path_curvature);
   e.put_f64(m.path_heading_error);
-  return e.take();
 }
 
-void deserialize(const std::vector<std::uint8_t>& bytes, ModelV2& m) {
+void deserialize(std::span<const std::uint8_t> bytes, ModelV2& m) {
   Decoder d(bytes);
   m.mono_time = d.get_u64();
   m.left_lane_line = d.get_f64();
@@ -61,17 +58,15 @@ void deserialize(const std::vector<std::uint8_t>& bytes, ModelV2& m) {
   m.path_heading_error = d.get_f64();
 }
 
-std::vector<std::uint8_t> serialize(const RadarState& m) {
-  Encoder e;
+void encode(Encoder& e, const RadarState& m) {
   e.put_u64(m.mono_time);
   e.put_bool(m.lead_valid);
   e.put_f64(m.lead_distance);
   e.put_f64(m.lead_rel_speed);
   e.put_f64(m.lead_speed);
-  return e.take();
 }
 
-void deserialize(const std::vector<std::uint8_t>& bytes, RadarState& m) {
+void deserialize(std::span<const std::uint8_t> bytes, RadarState& m) {
   Decoder d(bytes);
   m.mono_time = d.get_u64();
   m.lead_valid = d.get_bool();
@@ -80,8 +75,7 @@ void deserialize(const std::vector<std::uint8_t>& bytes, RadarState& m) {
   m.lead_speed = d.get_f64();
 }
 
-std::vector<std::uint8_t> serialize(const CarState& m) {
-  Encoder e;
+void encode(Encoder& e, const CarState& m) {
   e.put_u64(m.mono_time);
   e.put_f64(m.speed);
   e.put_f64(m.accel);
@@ -89,10 +83,9 @@ std::vector<std::uint8_t> serialize(const CarState& m) {
   e.put_f64(m.cruise_speed);
   e.put_bool(m.cruise_enabled);
   e.put_f64(m.driver_torque);
-  return e.take();
 }
 
-void deserialize(const std::vector<std::uint8_t>& bytes, CarState& m) {
+void deserialize(std::span<const std::uint8_t> bytes, CarState& m) {
   Decoder d(bytes);
   m.mono_time = d.get_u64();
   m.speed = d.get_f64();
@@ -103,16 +96,14 @@ void deserialize(const std::vector<std::uint8_t>& bytes, CarState& m) {
   m.driver_torque = d.get_f64();
 }
 
-std::vector<std::uint8_t> serialize(const CarControl& m) {
-  Encoder e;
+void encode(Encoder& e, const CarControl& m) {
   e.put_u64(m.mono_time);
   e.put_bool(m.enabled);
   e.put_f64(m.accel);
   e.put_f64(m.steer_angle);
-  return e.take();
 }
 
-void deserialize(const std::vector<std::uint8_t>& bytes, CarControl& m) {
+void deserialize(std::span<const std::uint8_t> bytes, CarControl& m) {
   Decoder d(bytes);
   m.mono_time = d.get_u64();
   m.enabled = d.get_bool();
@@ -120,17 +111,15 @@ void deserialize(const std::vector<std::uint8_t>& bytes, CarControl& m) {
   m.steer_angle = d.get_f64();
 }
 
-std::vector<std::uint8_t> serialize(const ControlsState& m) {
-  Encoder e;
+void encode(Encoder& e, const ControlsState& m) {
   e.put_u64(m.mono_time);
   e.put_bool(m.active);
   e.put_bool(m.steer_saturated);
   e.put_bool(m.fcw);
   e.put_u32(m.alert_count);
-  return e.take();
 }
 
-void deserialize(const std::vector<std::uint8_t>& bytes, ControlsState& m) {
+void deserialize(std::span<const std::uint8_t> bytes, ControlsState& m) {
   Decoder d(bytes);
   m.mono_time = d.get_u64();
   m.active = d.get_bool();
@@ -139,41 +128,97 @@ void deserialize(const std::vector<std::uint8_t>& bytes, ControlsState& m) {
   m.alert_count = d.get_u32();
 }
 
+namespace {
+
+template <typename M>
+std::vector<std::uint8_t> serialize_exact(const M& m) {
+  Encoder e;
+  e.reserve(WireSizeOf<M>::value);
+  encode(e, m);
+  return e.take();
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> serialize(const GpsLocationExternal& m) {
+  return serialize_exact(m);
+}
+std::vector<std::uint8_t> serialize(const ModelV2& m) {
+  return serialize_exact(m);
+}
+std::vector<std::uint8_t> serialize(const RadarState& m) {
+  return serialize_exact(m);
+}
+std::vector<std::uint8_t> serialize(const CarState& m) {
+  return serialize_exact(m);
+}
+std::vector<std::uint8_t> serialize(const CarControl& m) {
+  return serialize_exact(m);
+}
+std::vector<std::uint8_t> serialize(const ControlsState& m) {
+  return serialize_exact(m);
+}
+
 std::uint64_t PubSubBus::subscribe_raw(Topic topic, RawHandler handler) {
+  if (!topic_valid(topic))
+    throw std::invalid_argument("PubSubBus::subscribe_raw: unknown topic");
   const std::uint64_t id = next_id_++;
-  subs_[topic].push_back({id, std::move(handler)});
+  topics_[topic_index(topic)].raw.push_back(
+      std::make_unique<RawSub>(RawSub{id, true, std::move(handler)}));
+  return id;
+}
+
+std::uint64_t PubSubBus::subscribe_typed(Topic topic, TypedHandler handler) {
+  const std::uint64_t id = next_id_++;
+  topics_[topic_index(topic)].typed.push_back(
+      std::make_unique<TypedSub>(TypedSub{id, true, std::move(handler)}));
   return id;
 }
 
 void PubSubBus::unsubscribe(std::uint64_t id) {
-  for (auto& [topic, subs] : subs_) {
-    subs.erase(std::remove_if(subs.begin(), subs.end(),
-                              [id](const Subscription& s) { return s.id == id; }),
-               subs.end());
+  // Ids are unique across both kinds and all topics, so the first match is
+  // the only one. During dispatch the entry is only marked dead — the
+  // fan-out loops skip it immediately, and the vector (and possibly the
+  // std::function currently executing) is compacted once the outermost
+  // dispatch returns.
+  const auto remove_from = [this](auto& subs, std::uint64_t target) {
+    const auto it = std::find_if(subs.begin(), subs.end(),
+                                 [target](const auto& sub) {
+                                   return sub->id == target;
+                                 });
+    if (it == subs.end()) return false;
+    if (dispatch_depth_ > 0) {
+      (*it)->alive = false;
+      sweep_pending_ = true;
+    } else {
+      subs.erase(it);
+    }
+    return true;
+  };
+  for (TopicState& st : topics_) {
+    if (remove_from(st.typed, id) || remove_from(st.raw, id)) return;
   }
 }
 
-std::uint64_t PubSubBus::next_sequence(Topic topic) {
-  return ++sequences_[topic];
-}
-
-void PubSubBus::dispatch(const WireFrame& frame) {
-  const auto it = subs_.find(frame.topic);
-  if (it == subs_.end()) return;
-  // Iterate over a copy of the handler list: a handler may subscribe or
-  // unsubscribe during dispatch without invalidating this loop.
-  const auto snapshot = it->second;
-  for (const auto& sub : snapshot) sub.handler(frame);
+void PubSubBus::sweep_dead() {
+  for (TopicState& st : topics_) {
+    std::erase_if(st.typed, [](const auto& sub) { return !sub->alive; });
+    std::erase_if(st.raw, [](const auto& sub) { return !sub->alive; });
+  }
+  sweep_pending_ = false;
 }
 
 std::uint64_t PubSubBus::published_count(Topic topic) const noexcept {
-  const auto it = sequences_.find(topic);
-  return it == sequences_.end() ? 0 : it->second;
+  return topic_valid(topic) ? topics_[topic_index(topic)].sequence : 0;
 }
 
 std::size_t PubSubBus::subscriber_count(Topic topic) const noexcept {
-  const auto it = subs_.find(topic);
-  return it == subs_.end() ? 0 : it->second.size();
+  if (!topic_valid(topic)) return 0;
+  const TopicState& st = topics_[topic_index(topic)];
+  std::size_t n = 0;
+  for (const auto& sub : st.typed) n += sub->alive ? 1 : 0;
+  for (const auto& sub : st.raw) n += sub->alive ? 1 : 0;
+  return n;
 }
 
 }  // namespace scaa::msg

@@ -6,18 +6,41 @@
 /// Design mirrors what matters about Cereal for the paper's attack:
 ///  * topics are public; any component can subscribe to any topic without
 ///    authentication or authorization (the eavesdropping vector, Fig. 3);
-///  * messages are serialized bytes on the wire; subscribers decode them
-///    with the public schema;
+///  * messages are observable as serialized bytes on the wire; subscribers
+///    can decode them with the public schema;
 ///  * publishers stamp a monotonically increasing per-topic sequence number
 ///    (lets tests assert no message loss).
+///
+/// Dispatch is split into two per-topic paths:
+///  * the **typed fast path** (`subscribe<M>`, `Latest<M>`) receives the
+///    published struct by const reference — zero serialization, zero
+///    allocation. Because the codec is an exact little-endian IEEE-754
+///    round trip, this is bit-identical to the historical
+///    decode(serialize(m)) delivery.
+///  * the **raw wire path** (`subscribe_raw`) receives the frame bytes.
+///    Serialization happens lazily, only when at least one raw subscriber
+///    is attached to the topic, into a per-topic scratch buffer that is
+///    reused across publishes; the handler sees a non-owning `WireFrame`
+///    view of it. The eavesdropping surface is therefore preserved by
+///    design — any component may still tap byte-identical frames without
+///    auth — the bytes are just not materialized when nobody is looking.
+///
+/// Within one publish, typed subscribers run before raw subscribers; each
+/// group runs in subscription order. Handlers may subscribe/unsubscribe
+/// during dispatch: additions are delivered starting with the next
+/// publish, removals take effect immediately and are compacted after the
+/// outermost dispatch returns (index-based fan-out + deferred removal —
+/// nothing is copied or reallocated mid-iteration).
 ///
 /// The bus is single-threaded within one simulation (the 100 Hz loop runs
 /// all services in order, like OpenPilot's single-machine deployment); the
 /// campaign layer achieves parallelism by running many independent worlds.
 
+#include <array>
 #include <cstdint>
 #include <functional>
-#include <map>
+#include <memory>
+#include <span>
 #include <vector>
 
 #include "msg/codec.hpp"
@@ -25,7 +48,39 @@
 
 namespace scaa::msg {
 
-/// Serialize any schema message (overloads per type).
+/// Exact wire size of each schema message. Every message encodes as a flat
+/// fixed field sequence (no varints, no optional fields), so the raw path
+/// can reserve exactly once and never reallocate.
+template <typename M>
+struct WireSizeOf;
+template <> struct WireSizeOf<GpsLocationExternal> {
+  static constexpr std::size_t value = 41;  // u64 + 4*f64 + bool
+};
+template <> struct WireSizeOf<ModelV2> {
+  static constexpr std::size_t value = 56;  // u64 + 6*f64
+};
+template <> struct WireSizeOf<RadarState> {
+  static constexpr std::size_t value = 33;  // u64 + bool + 3*f64
+};
+template <> struct WireSizeOf<CarState> {
+  static constexpr std::size_t value = 49;  // u64 + 5*f64 + bool
+};
+template <> struct WireSizeOf<CarControl> {
+  static constexpr std::size_t value = 25;  // u64 + bool + 2*f64
+};
+template <> struct WireSizeOf<ControlsState> {
+  static constexpr std::size_t value = 15;  // u64 + 3*bool + u32
+};
+
+/// Append the wire encoding of @p m (exactly WireSizeOf<M>::value bytes).
+void encode(Encoder& e, const GpsLocationExternal& m);
+void encode(Encoder& e, const ModelV2& m);
+void encode(Encoder& e, const RadarState& m);
+void encode(Encoder& e, const CarState& m);
+void encode(Encoder& e, const CarControl& m);
+void encode(Encoder& e, const ControlsState& m);
+
+/// Serialize any schema message into a fresh, exactly-sized buffer.
 std::vector<std::uint8_t> serialize(const GpsLocationExternal& m);
 std::vector<std::uint8_t> serialize(const ModelV2& m);
 std::vector<std::uint8_t> serialize(const RadarState& m);
@@ -33,72 +88,141 @@ std::vector<std::uint8_t> serialize(const CarState& m);
 std::vector<std::uint8_t> serialize(const CarControl& m);
 std::vector<std::uint8_t> serialize(const ControlsState& m);
 
-/// Deserialize into a schema message; throws std::out_of_range on truncation.
-void deserialize(const std::vector<std::uint8_t>& bytes, GpsLocationExternal& m);
-void deserialize(const std::vector<std::uint8_t>& bytes, ModelV2& m);
-void deserialize(const std::vector<std::uint8_t>& bytes, RadarState& m);
-void deserialize(const std::vector<std::uint8_t>& bytes, CarState& m);
-void deserialize(const std::vector<std::uint8_t>& bytes, CarControl& m);
-void deserialize(const std::vector<std::uint8_t>& bytes, ControlsState& m);
+/// Deserialize into a schema message; throws std::out_of_range on
+/// truncation. Accepts any contiguous byte view (vector, WireFrame
+/// payload, ...).
+void deserialize(std::span<const std::uint8_t> bytes, GpsLocationExternal& m);
+void deserialize(std::span<const std::uint8_t> bytes, ModelV2& m);
+void deserialize(std::span<const std::uint8_t> bytes, RadarState& m);
+void deserialize(std::span<const std::uint8_t> bytes, CarState& m);
+void deserialize(std::span<const std::uint8_t> bytes, CarControl& m);
+void deserialize(std::span<const std::uint8_t> bytes, ControlsState& m);
 
-/// A frame as seen on the wire.
+/// A frame as seen on the wire. The payload is a non-owning view into the
+/// bus's per-topic scratch buffer: it is valid for the duration of the raw
+/// handler call; a subscriber that wants to keep the bytes must copy them
+/// (see msg::StoredFrame).
 struct WireFrame {
   Topic topic{};
   std::uint64_t sequence = 0;
-  std::vector<std::uint8_t> payload;
+  std::span<const std::uint8_t> payload;
 };
 
 /// Pub/sub bus. Subscribers register callbacks per topic; publishing
-/// serializes the message and synchronously fans it out.
+/// synchronously fans the message out — typed subscribers get the struct,
+/// raw subscribers get the (lazily serialized) wire bytes.
 class PubSubBus {
  public:
   using RawHandler = std::function<void(const WireFrame&)>;
 
   /// Subscribe to raw frames on @p topic. No authentication — by design:
-  /// this is the vulnerability surface. Returns a subscription id.
+  /// this is the vulnerability surface. Returns a subscription id. Throws
+  /// std::invalid_argument for a topic outside the schema.
   std::uint64_t subscribe_raw(Topic topic, RawHandler handler);
 
-  /// Subscribe with automatic decoding to the typed message.
+  /// Subscribe with typed delivery: the handler receives the published
+  /// struct by const reference (no serialization round trip).
   template <typename M>
   std::uint64_t subscribe(std::function<void(const M&)> handler) {
-    return subscribe_raw(TopicOf<M>::value,
-                         [h = std::move(handler)](const WireFrame& frame) {
-                           M m{};
-                           deserialize(frame.payload, m);
-                           h(m);
-                         });
+    return subscribe_typed(TopicOf<M>::value,
+                           [h = std::move(handler)](const void* m) {
+                             h(*static_cast<const M*>(m));
+                           });
   }
 
-  /// Remove a subscription. Unknown ids are ignored (idempotent).
+  /// Remove a subscription. Unknown ids are ignored (idempotent). Safe to
+  /// call from inside a handler (including removing the running handler).
   void unsubscribe(std::uint64_t id);
 
-  /// Publish a typed message: serialize, stamp sequence, fan out.
+  /// Publish a typed message: stamp the per-topic sequence, hand the
+  /// struct to typed subscribers, and — only if the topic has at least one
+  /// raw subscriber — serialize once into the topic's scratch buffer and
+  /// fan the WireFrame view out to them.
   template <typename M>
   void publish(const M& m) {
-    WireFrame frame;
-    frame.topic = TopicOf<M>::value;
-    frame.sequence = next_sequence(frame.topic);
-    frame.payload = serialize(m);
-    dispatch(frame);
+    TopicState& st = topics_[topic_index(TopicOf<M>::value)];
+    const std::uint64_t seq = ++st.sequence;
+    const DispatchGuard guard(*this);
+    for (std::size_t i = 0, n = st.typed.size(); i < n; ++i) {
+      const TypedSub* sub = st.typed[i].get();
+      if (sub->alive) sub->handler(&m);
+    }
+    if (st.raw.empty()) return;
+    // A raw handler that publishes on the same topic (e.g. a replay tap)
+    // must not clobber the scratch bytes the outer fan-out is still
+    // reading; the nested publish pays for a local buffer instead.
+    Encoder local;
+    Encoder& wire = st.serializing ? local : st.scratch;
+    const ScratchGuard scratch_guard(st);
+    wire.clear();
+    wire.reserve(WireSizeOf<M>::value);
+    encode(wire, m);
+    const WireFrame frame{TopicOf<M>::value, seq, wire.bytes()};
+    for (std::size_t i = 0, n = st.raw.size(); i < n; ++i) {
+      const RawSub* sub = st.raw[i].get();
+      if (sub->alive) sub->handler(frame);
+    }
   }
 
-  /// Messages published so far on @p topic.
+  /// Messages published so far on @p topic (0 for an invalid topic).
   std::uint64_t published_count(Topic topic) const noexcept;
 
-  /// Number of active subscriptions on @p topic.
+  /// Number of active subscriptions (typed + raw) on @p topic.
   std::size_t subscriber_count(Topic topic) const noexcept;
 
  private:
-  std::uint64_t next_sequence(Topic topic);
-  void dispatch(const WireFrame& frame);
+  // Typed handlers are type-erased per topic: each topic carries exactly
+  // one message type, so the pointer cast back is done by subscribe<M>'s
+  // wrapper, which is the only code that ever stores one.
+  using TypedHandler = std::function<void(const void*)>;
 
-  struct Subscription {
+  struct TypedSub {
     std::uint64_t id;
+    bool alive;
+    TypedHandler handler;
+  };
+  struct RawSub {
+    std::uint64_t id;
+    bool alive;
     RawHandler handler;
   };
-  std::map<Topic, std::vector<Subscription>> subs_;
-  std::map<Topic, std::uint64_t> sequences_;
+  struct TopicState {
+    // unique_ptr entries: a handler appended during dispatch may grow the
+    // vector, but the subscription (and the std::function being executed)
+    // never moves.
+    std::vector<std::unique_ptr<TypedSub>> typed;
+    std::vector<std::unique_ptr<RawSub>> raw;
+    std::uint64_t sequence = 0;
+    Encoder scratch;            ///< reusable wire buffer (lazy raw path)
+    bool serializing = false;   ///< scratch currently exposed to handlers
+  };
+
+  struct DispatchGuard {
+    PubSubBus& bus;
+    explicit DispatchGuard(PubSubBus& b) noexcept : bus(b) {
+      ++bus.dispatch_depth_;
+    }
+    ~DispatchGuard() {
+      if (--bus.dispatch_depth_ == 0 && bus.sweep_pending_) bus.sweep_dead();
+    }
+  };
+  struct ScratchGuard {
+    TopicState& st;
+    bool prev;
+    explicit ScratchGuard(TopicState& s) noexcept
+        : st(s), prev(s.serializing) {
+      st.serializing = true;
+    }
+    ~ScratchGuard() { st.serializing = prev; }
+  };
+
+  std::uint64_t subscribe_typed(Topic topic, TypedHandler handler);
+  void sweep_dead();
+
+  std::array<TopicState, kTopicCount> topics_;
   std::uint64_t next_id_ = 1;
+  int dispatch_depth_ = 0;
+  bool sweep_pending_ = false;
 };
 
 /// Convenience latch: stores the most recent message of a type.

@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <cstring>
+#include <span>
 #include <stdexcept>
 #include <vector>
 
@@ -24,6 +25,15 @@ class Encoder {
   void put_f64(double v);
   void put_bool(bool v);
 
+  /// Pre-size the buffer: an encode of known wire size never reallocates.
+  void reserve(std::size_t n) { buf_.reserve(n); }
+
+  /// Drop the contents but keep the capacity — the bus reuses one Encoder
+  /// per topic as its wire scratch buffer.
+  void clear() noexcept { buf_.clear(); }
+
+  std::size_t size() const noexcept { return buf_.size(); }
+
   /// Finished byte string.
   const std::vector<std::uint8_t>& bytes() const noexcept { return buf_; }
   std::vector<std::uint8_t> take() noexcept { return std::move(buf_); }
@@ -36,7 +46,7 @@ class Encoder {
 /// truncated input — a malformed frame must never be silently misread.
 class Decoder {
  public:
-  explicit Decoder(const std::vector<std::uint8_t>& bytes)
+  explicit Decoder(std::span<const std::uint8_t> bytes)
       : data_(bytes.data()), size_(bytes.size()) {}
   Decoder(const std::uint8_t* data, std::size_t size)
       : data_(data), size_(size) {}

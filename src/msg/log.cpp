@@ -37,17 +37,19 @@ void MessageLog::record_topic(PubSubBus& bus, Topic topic,
                               std::function<std::uint64_t()> clock) {
   subscriptions_.push_back(bus.subscribe_raw(
       topic, [this, clock = std::move(clock)](const WireFrame& frame) {
-        entries_.push_back({clock ? clock() : 0, frame});
+        // The frame payload is a view into the bus's scratch buffer; the
+        // log owns its copy.
+        entries_.push_back(
+            {clock ? clock() : 0,
+             {frame.topic, frame.sequence,
+              {frame.payload.begin(), frame.payload.end()}}});
       }));
 }
 
 void MessageLog::record_all(PubSubBus& bus,
                             std::function<std::uint64_t()> clock) {
-  for (const Topic topic :
-       {Topic::kGpsLocationExternal, Topic::kModelV2, Topic::kRadarState,
-        Topic::kCarState, Topic::kCarControl, Topic::kControlsState}) {
-    record_topic(bus, topic, clock);
-  }
+  for (std::size_t i = 1; i <= kTopicCount; ++i)
+    record_topic(bus, static_cast<Topic>(i), clock);
 }
 
 void MessageLog::stop(PubSubBus& bus) {
@@ -63,7 +65,7 @@ std::size_t MessageLog::count(Topic topic) const noexcept {
 }
 
 void MessageLog::replay(PubSubBus& bus) const {
-  for (const auto& e : entries_) republish(bus, e.frame);
+  for (const auto& e : entries_) republish(bus, e.frame.view());
 }
 
 void MessageLog::save(std::ostream& out) const {

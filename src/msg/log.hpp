@@ -17,10 +17,22 @@
 
 namespace scaa::msg {
 
+/// An owned copy of one wire frame. The bus hands raw subscribers
+/// non-owning WireFrame views into its scratch buffer; anything that
+/// outlives the handler call (a drive log, a save file) stores this.
+struct StoredFrame {
+  Topic topic{};
+  std::uint64_t sequence = 0;
+  std::vector<std::uint8_t> payload;
+
+  /// Non-owning view (valid while this StoredFrame is alive and unchanged).
+  WireFrame view() const noexcept { return {topic, sequence, payload}; }
+};
+
 /// One recorded frame.
 struct LogEntry {
   std::uint64_t step = 0;  ///< capture step (10 ms ticks)
-  WireFrame frame;
+  StoredFrame frame;
 };
 
 /// Records all topics (or a subset) from a bus; replays into another.

@@ -12,9 +12,8 @@
 /// Field meanings mirror OpenPilot's log.capnp where the paper relies on
 /// them; everything is SI.
 
-#include <array>
 #include <cstdint>
-#include <string>
+#include <string_view>
 
 namespace scaa::msg {
 
@@ -91,8 +90,25 @@ enum class Topic : std::uint16_t {
   kControlsState = 6,
 };
 
-/// Human-readable topic name (matches OpenPilot's event names).
-std::string topic_name(Topic topic);
+/// Number of topics. Topic values are the contiguous range
+/// [1, kTopicCount]; the bus exploits that for flat per-topic tables.
+inline constexpr std::size_t kTopicCount = 6;
+
+/// True when @p topic is one of the schema topics above (a Topic forged by
+/// casting an arbitrary integer is not).
+constexpr bool topic_valid(Topic topic) noexcept {
+  const auto v = static_cast<std::uint16_t>(topic);
+  return v >= 1 && v <= kTopicCount;
+}
+
+/// Dense 0-based index of a valid topic (for flat per-topic arrays).
+constexpr std::size_t topic_index(Topic topic) noexcept {
+  return static_cast<std::size_t>(topic) - 1;
+}
+
+/// Human-readable topic name (matches OpenPilot's event names). The view
+/// points into static storage and never dangles.
+std::string_view topic_name(Topic topic);
 
 /// Map each message type to its topic at compile time.
 template <typename T>

@@ -178,6 +178,72 @@ TEST(Bus, SubscribeDuringDispatchIsSafe) {
   EXPECT_GE(late_calls, 1);
 }
 
+TEST(Bus, SubscribeRawDuringDispatchIsSafe) {
+  msg::PubSubBus bus;
+  int late_frames = 0;
+  bus.subscribe_raw(msg::Topic::kCarState, [&](const msg::WireFrame&) {
+    bus.subscribe_raw(msg::Topic::kCarState,
+                      [&](const msg::WireFrame&) { ++late_frames; });
+  });
+  bus.publish(msg::CarState{});  // new tap starts with the NEXT frame
+  EXPECT_EQ(late_frames, 0);
+  bus.publish(msg::CarState{});
+  EXPECT_EQ(late_frames, 1);
+}
+
+TEST(Bus, UnsubscribeSelfDuringDispatch) {
+  // Regression: a handler removing its own subscription mid-fan-out must
+  // not invalidate the dispatch loop, and must never be called again.
+  msg::PubSubBus bus;
+  int self_calls = 0;
+  int other_calls = 0;
+  std::uint64_t self_id = 0;
+  self_id = bus.subscribe<msg::CarState>([&](const auto&) {
+    ++self_calls;
+    bus.unsubscribe(self_id);
+  });
+  bus.subscribe<msg::CarState>([&](const auto&) { ++other_calls; });
+  bus.publish(msg::CarState{});
+  bus.publish(msg::CarState{});
+  EXPECT_EQ(self_calls, 1);
+  EXPECT_EQ(other_calls, 2);
+}
+
+TEST(Bus, UnsubscribeRawSelfDuringDispatch) {
+  msg::PubSubBus bus;
+  int self_frames = 0;
+  int other_frames = 0;
+  std::uint64_t self_id = 0;
+  self_id = bus.subscribe_raw(msg::Topic::kCarState,
+                              [&](const msg::WireFrame&) {
+                                ++self_frames;
+                                bus.unsubscribe(self_id);
+                              });
+  bus.subscribe_raw(msg::Topic::kCarState,
+                    [&](const msg::WireFrame&) { ++other_frames; });
+  bus.publish(msg::CarState{});
+  bus.publish(msg::CarState{});
+  EXPECT_EQ(self_frames, 1);
+  EXPECT_EQ(other_frames, 2);
+}
+
+TEST(Bus, UnsubscribeOtherDuringDispatchTakesEffectImmediately) {
+  // Removing a later subscriber from an earlier handler suppresses its
+  // delivery of the in-flight message (deferred removal marks it dead
+  // before the fan-out reaches it).
+  msg::PubSubBus bus;
+  int victim_calls = 0;
+  std::uint64_t victim_id = 0;
+  bus.subscribe<msg::CarState>(
+      [&](const auto&) { bus.unsubscribe(victim_id); });
+  victim_id = bus.subscribe<msg::CarState>([&](const auto&) {
+    ++victim_calls;
+  });
+  bus.publish(msg::CarState{});
+  bus.publish(msg::CarState{});
+  EXPECT_EQ(victim_calls, 0);
+}
+
 TEST(Bus, LatestLatch) {
   msg::PubSubBus bus;
   msg::Latest<msg::RadarState> latest(bus);
@@ -197,6 +263,14 @@ TEST(Bus, TopicNames) {
             "gpsLocationExternal");
   EXPECT_EQ(msg::topic_name(msg::Topic::kModelV2), "modelV2");
   EXPECT_EQ(msg::topic_name(msg::Topic::kRadarState), "radarState");
+  EXPECT_EQ(msg::topic_name(msg::Topic::kCarState), "carState");
+  EXPECT_EQ(msg::topic_name(msg::Topic::kCarControl), "carControl");
+  EXPECT_EQ(msg::topic_name(msg::Topic::kControlsState), "controlsState");
+  // string_view over static storage: the same call yields the same data
+  // pointer, no per-call std::string materialization.
+  EXPECT_EQ(msg::topic_name(msg::Topic::kModelV2).data(),
+            msg::topic_name(msg::Topic::kModelV2).data());
+  EXPECT_EQ(msg::topic_name(static_cast<msg::Topic>(99)), "unknown");
 }
 
 }  // namespace

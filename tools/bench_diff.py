@@ -10,10 +10,14 @@ throughput delta, and flags any difference in the integer aggregate columns
 — those are seed-for-seed deterministic, so a change there is a behavioral
 regression, not timing noise.
 
-BENCH_table4.json also carries kernel rows (currently "Polyline::project"):
-there "simulations" is the fixed operation count and sims_per_s the kernel
-throughput (projections/s). The deterministic-column check applies to them
-unchanged — the op count drifting means the benchmark workload changed.
+BENCH_table4.json also carries kernel rows ("Polyline::project" and
+"PubSubBus::publish"): there "simulations" is the fixed operation count
+and sims_per_s the kernel throughput (projections/s, publishes/s). The
+deterministic-column check applies to them unchanged — the op count
+drifting means the benchmark workload changed. "PubSubBus::publish" times
+the zero-copy typed dispatch path (six Latest latches, no raw tap) over
+the steady-state publish mix; bench_step's bus_publish_typed/tapped/
+legacy rows carry the same workload against the in-bench legacy bus.
 
 Always exits 0: shared CI runners make timings too noisy to gate on. The
 output lands in the benchmark artifact so regressions are visible.
@@ -26,7 +30,7 @@ TIMING_COLUMNS = {"wall_s", "sims_per_s", "points_per_s"}
 
 # Rows measuring an isolated kernel rather than a campaign slice, annotated
 # so a reader of the artifact does not misread ops/s as simulations/s.
-KERNEL_ROWS = {"Polyline::project"}
+KERNEL_ROWS = {"Polyline::project", "PubSubBus::publish"}
 
 
 def load(path):
