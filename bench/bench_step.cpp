@@ -259,6 +259,18 @@ int main(int argc, char** argv) {
   }
   const double shared_s = seconds_since(t_shared);
 
+  // --- reset: re-arm one resident World per item (the arena lifecycle) ----
+  double reset_s = 0.0;
+  {
+    sim::World world(exp::world_config_for(bench_item(1), assets));
+    const auto t_reset = std::chrono::steady_clock::now();
+    for (std::size_t i = 0; i < constructions; ++i) {
+      world.reset(exp::world_config_for(bench_item(i + 1), assets));
+      if (world.time() != 0.0) return 1;
+    }
+    reset_s = seconds_since(t_reset);
+  }
+
   // --- Polyline::project kernel: hinted single, batched, full scan -------
   // Each fast row is timed against the legacy scalar implementation on the
   // identical query stream; the checksum comparison doubles as an in-bench
@@ -470,6 +482,15 @@ int main(int argc, char** argv) {
                   static_cast<long long>(constructions), std::string("us"),
                   per(shared_s, constructions, 1e6),
                   shared_s > 0.0 ? owned_s / shared_s : 0.0});
+  // world_construct vs world_reset: the per-simulation setup cost a
+  // campaign pays with fresh Worlds vs resident arena Worlds.
+  report.add_row({std::string("world_construct"),
+                  static_cast<long long>(constructions), std::string("us"),
+                  per(shared_s, constructions, 1e6), 1.0});
+  report.add_row({std::string("world_reset"),
+                  static_cast<long long>(constructions), std::string("us"),
+                  per(reset_s, constructions, 1e6),
+                  reset_s > 0.0 ? shared_s / reset_s : 0.0});
   report.add_row({std::string("project_hinted_legacy"),
                   static_cast<long long>(proj_ops), std::string("ns"),
                   per(legacy_s, proj_ops, 1e9), 1.0});

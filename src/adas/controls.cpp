@@ -12,6 +12,7 @@ Controls::Controls(msg::PubSubBus& bus, can::CanBus& can_bus,
                    const vehicle::VehicleParams& params, util::Rng rng)
     : bus_(&bus),
       can_bus_(&can_bus),
+      db_(&db),
       config_(config),
       model_(bus),
       radar_(bus),
@@ -34,6 +35,49 @@ Controls::Controls(msg::PubSubBus& bus, can::CanBus& can_bus,
                        can::kSignalUnset),
       gas_brake_values_(db.schema().signal_count(gas_brake_msg_),
                         can::kSignalUnset) {}
+
+void Controls::reset(const can::Database& db, ControlsConfig config,
+                     const vehicle::VehicleParams& params, util::Rng rng) {
+  if (&db != db_) {
+    // Different database: the precompiled handles and value-buffer sizes
+    // are stale, so re-resolve everything. This path allocates (string
+    // lookups, buffer resize); the hot campaign path never takes it.
+    db_ = &db;
+    packer_ = can::CanPacker(db);
+    steering_msg_ = db.handle("STEERING_CONTROL");
+    gas_brake_msg_ = db.handle("GAS_BRAKE_COMMAND");
+    steer_angle_sig_ =
+        db.signal_handle("STEERING_CONTROL", can::sig::kSteerAngleCmd);
+    steer_enabled_sig_ =
+        db.signal_handle("STEERING_CONTROL", can::sig::kSteerEnabled);
+    accel_sig_ = db.signal_handle("GAS_BRAKE_COMMAND", can::sig::kAccelCmd);
+    brake_request_sig_ =
+        db.signal_handle("GAS_BRAKE_COMMAND", can::sig::kBrakeRequest);
+    steering_values_.assign(db.schema().signal_count(steering_msg_),
+                            can::kSignalUnset);
+    gas_brake_values_.assign(db.schema().signal_count(gas_brake_msg_),
+                             can::kSignalUnset);
+  } else {
+    packer_.reset_counters();
+    std::fill(steering_values_.begin(), steering_values_.end(),
+              can::kSignalUnset);
+    std::fill(gas_brake_values_.begin(), gas_brake_values_.end(),
+              can::kSignalUnset);
+  }
+  config_ = config;
+  model_.reset();
+  radar_.reset();
+  car_state_.reset();
+  lead_tracker_ = LeadTracker();
+  lateral_planner_ = LateralPlanner(config.lateral, rng);
+  longitudinal_planner_ = LongitudinalPlanner(config.acc);
+  torque_controller_ = TorqueController(config.steer, params);
+  long_control_ = LongControl(config.longitudinal);
+  alert_manager_ = AlertManager();
+  last_radar_seq_ = 0;
+  last_model_seq_ = 0;
+  engaged_ = true;
+}
 
 ControlsOutput Controls::step(std::uint64_t step_index, double dt) {
   ControlsOutput out;

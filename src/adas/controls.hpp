@@ -52,6 +52,16 @@ class Controls {
            const can::Database& db, ControlsConfig config,
            const vehicle::VehicleParams& params, util::Rng rng);
 
+  /// Re-initialize the whole control stack for a new simulation on the
+  /// same buses, bit-identical to fresh construction. The bus
+  /// subscriptions stay attached (their latches are cleared); the
+  /// precompiled CAN codec handles are reused — and therefore the reset is
+  /// allocation-free — as long as @p db is the database the stack was
+  /// last wired against. A different database re-resolves the handles
+  /// (the only allocating path; campaign arenas always share one db).
+  void reset(const can::Database& db, ControlsConfig config,
+             const vehicle::VehicleParams& params, util::Rng rng);
+
   /// Run one 100 Hz cycle. @p step_index stamps outgoing messages.
   ControlsOutput step(std::uint64_t step_index, double dt);
 
@@ -70,6 +80,7 @@ class Controls {
  private:
   msg::PubSubBus* bus_;
   can::CanBus* can_bus_;
+  const can::Database* db_;  ///< database the codec handles resolve against
   ControlsConfig config_;
 
   msg::Latest<msg::ModelV2> model_;

@@ -27,6 +27,15 @@ class CanAttacker {
   /// Set the corruption to apply from now on (empty = passthrough).
   void set_values(const AttackValues& values) noexcept { values_ = values; }
 
+  /// Back to the freshly constructed state — passthrough values, zeroed
+  /// counters — keeping the resolved signal layouts (the database is fixed
+  /// for the attacker's lifetime) and any bus attachment.
+  void reset() noexcept {
+    values_ = AttackValues{};
+    corrupted_ = 0;
+    last_original_steer_ = 0.0;
+  }
+
   /// Frames actually modified so far.
   std::uint64_t frames_corrupted() const noexcept { return corrupted_; }
 

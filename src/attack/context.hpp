@@ -33,6 +33,15 @@ class ContextInference {
   /// car's half body width (public spec sheet data).
   ContextInference(msg::PubSubBus& bus, double half_width);
 
+  /// Forget everything eavesdropped so far (new simulation on the same
+  /// bus): the three latches clear while their subscriptions stay attached.
+  void reset(double half_width) noexcept {
+    gps_.reset();
+    model_.reset();
+    radar_.reset();
+    half_width_ = half_width;
+  }
+
   /// Compute the current context at simulation time @p time.
   SafetyContext infer(double time) const noexcept;
 

@@ -20,13 +20,33 @@ AttackEngine::AttackEngine(const AttackConfig& config, msg::PubSubBus& msg_bus,
     : config_(config),
       inference_(msg_bus, half_width),
       table_(config.table),
-      strategy_(make_strategy(config.strategy, synced_params(config), rng)),
+      strategy_(config.strategy, synced_params(config), rng),
       corruption_(config.strategic_values,
                   config.strategic_values ? CorruptionLimits::strategic()
                                           : CorruptionLimits::fixed(),
                   config.cruise_speed),
       attacker_(db) {
   attacker_.attach(can_bus);
+}
+
+void AttackEngine::reset(const AttackConfig& config, double half_width,
+                         util::Rng rng) {
+  // Same member values the constructor produces, minus the bus wiring:
+  // the eavesdropper subscriptions and the CAN interceptor stay attached
+  // (the attacker's foothold survives a World reset by design).
+  config_ = config;
+  inference_.reset(half_width);
+  table_ = ContextTable(config.table);
+  strategy_.emplace(config.strategy, synced_params(config), rng);
+  corruption_ = ValueCorruption(config.strategic_values,
+                                config.strategic_values
+                                    ? CorruptionLimits::strategic()
+                                    : CorruptionLimits::fixed(),
+                                config.cruise_speed);
+  attacker_.reset();
+  last_context_ = SafetyContext{};
+  cycles_active_ = 0;
+  active_now_ = false;
 }
 
 void AttackEngine::step(double time, double dt) {

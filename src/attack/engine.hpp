@@ -42,6 +42,12 @@ class AttackEngine {
                can::CanBus& can_bus, const can::Database& db,
                double half_width, util::Rng rng);
 
+  /// Re-arm for a new simulation on the same buses and database,
+  /// bit-identical to fresh construction: the eavesdropped latches clear
+  /// (subscriptions stay attached), the strategy is re-drawn from @p rng
+  /// in place, and all counters zero. Allocation-free.
+  void reset(const AttackConfig& config, double half_width, util::Rng rng);
+
   /// Run one cycle at simulation @p time; must be called after sensors
   /// publish and before the ADAS command frames for this cycle are needed
   /// (the interceptor state persists until changed).
@@ -62,7 +68,7 @@ class AttackEngine {
   AttackConfig config_;
   ContextInference inference_;
   ContextTable table_;
-  std::unique_ptr<AttackStrategy> strategy_;
+  StrategyBox strategy_;  ///< placement-constructed: reset() never allocates
   ValueCorruption corruption_;
   CanAttacker attacker_;
   SafetyContext last_context_;

@@ -1,6 +1,7 @@
 #include "attack/strategies.hpp"
 
 #include <algorithm>
+#include <new>
 
 namespace scaa::attack {
 
@@ -236,6 +237,58 @@ std::unique_ptr<AttackStrategy> make_strategy(StrategyKind kind,
       return std::make_unique<ContextAwareStrategy>(params);
   }
   return std::make_unique<NullStrategy>();
+}
+
+StrategyBox::StrategyBox(StrategyKind kind, const StrategyParams& params,
+                         util::Rng rng) {
+  emplace(kind, params, rng);
+}
+
+StrategyBox::~StrategyBox() {
+  if (ptr_) ptr_->~AttackStrategy();
+}
+
+void StrategyBox::emplace(StrategyKind kind, const StrategyParams& params,
+                          util::Rng rng) {
+  static_assert(sizeof(RandomWindowStrategy) <= kStorageBytes &&
+                    alignof(RandomWindowStrategy) <= alignof(std::max_align_t),
+                "StrategyBox storage too small for RandomWindowStrategy");
+  static_assert(sizeof(RandomDurationStrategy) <= kStorageBytes &&
+                    alignof(RandomDurationStrategy) <=
+                        alignof(std::max_align_t),
+                "StrategyBox storage too small for RandomDurationStrategy");
+  static_assert(sizeof(ContextAwareStrategy) <= kStorageBytes &&
+                    alignof(ContextAwareStrategy) <= alignof(std::max_align_t),
+                "StrategyBox storage too small for ContextAwareStrategy");
+  static_assert(sizeof(NullStrategy) <= kStorageBytes &&
+                    alignof(NullStrategy) <= alignof(std::max_align_t),
+                "StrategyBox storage too small for NullStrategy");
+
+  if (ptr_) {
+    ptr_->~AttackStrategy();
+    ptr_ = nullptr;
+  }
+  // Mirror make_strategy() case for case: same constructions, same RNG
+  // draw order, so boxed and factory-made strategies behave identically.
+  void* const buf = static_cast<void*>(storage_);
+  switch (kind) {
+    case StrategyKind::kNone:
+      ptr_ = ::new (buf) NullStrategy();
+      return;
+    case StrategyKind::kRandomStDur:
+      ptr_ = ::new (buf) RandomWindowStrategy(params, rng, true);
+      return;
+    case StrategyKind::kRandomSt:
+      ptr_ = ::new (buf) RandomWindowStrategy(params, rng, false);
+      return;
+    case StrategyKind::kRandomDur:
+      ptr_ = ::new (buf) RandomDurationStrategy(params, rng);
+      return;
+    case StrategyKind::kContextAware:
+      ptr_ = ::new (buf) ContextAwareStrategy(params);
+      return;
+  }
+  ptr_ = ::new (buf) NullStrategy();
 }
 
 }  // namespace scaa::attack

@@ -3,6 +3,7 @@
 /// @file strategies.hpp
 /// Attack types (paper Table II) and activation strategies (Table III).
 
+#include <cstddef>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -106,5 +107,35 @@ struct StrategyParams {
 std::unique_ptr<AttackStrategy> make_strategy(StrategyKind kind,
                                               const StrategyParams& params,
                                               util::Rng rng);
+
+/// Fixed-capacity, heap-free holder for any strategy the factory can
+/// build. The attack engine re-seeds its strategy on every World::reset —
+/// thousands of times per campaign worker — so the concrete strategy is
+/// placement-constructed into an inline buffer instead of the heap,
+/// keeping whole-simulation allocation counts at zero. Construction and
+/// draw order replicate make_strategy() exactly, so a boxed strategy is
+/// bit-identical in behavior to a factory-made one.
+class StrategyBox {
+ public:
+  StrategyBox(StrategyKind kind, const StrategyParams& params, util::Rng rng);
+  ~StrategyBox();
+  StrategyBox(const StrategyBox&) = delete;
+  StrategyBox& operator=(const StrategyBox&) = delete;
+
+  /// Destroy the held strategy and build a new one in place.
+  void emplace(StrategyKind kind, const StrategyParams& params, util::Rng rng);
+
+  AttackStrategy& operator*() noexcept { return *ptr_; }
+  AttackStrategy* operator->() noexcept { return ptr_; }
+  const AttackStrategy& operator*() const noexcept { return *ptr_; }
+  const AttackStrategy* operator->() const noexcept { return ptr_; }
+
+ private:
+  /// Large enough for the biggest concrete strategy; emplace()
+  /// static_asserts the real sizes where the types are visible.
+  static constexpr std::size_t kStorageBytes = 128;
+  alignas(alignof(std::max_align_t)) unsigned char storage_[kStorageBytes];
+  AttackStrategy* ptr_ = nullptr;
+};
 
 }  // namespace scaa::attack

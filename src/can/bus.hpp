@@ -49,6 +49,15 @@ class CanBus {
   /// Returns false when an interceptor dropped the frame.
   bool send(CanFrame frame);
 
+  /// Zero the frame counters for a new simulation. Attachments — taps,
+  /// interceptors, receivers — and their ids stay; like the pub/sub bus,
+  /// the wiring of a World survives reset() so a man-in-the-middle
+  /// attached once keeps its position across simulations.
+  void reset_counters() noexcept {
+    sent_ = 0;
+    dropped_ = 0;
+  }
+
   /// Total frames offered to the bus.
   std::uint64_t frames_sent() const noexcept { return sent_; }
 

@@ -11,6 +11,10 @@ CanPacker::CanPacker(const Database& db)
       counters_(db.schema().message_count(), 0),
       scratch_(db.schema().max_signals_per_message(), kSignalUnset) {}
 
+void CanPacker::reset_counters() noexcept {
+  std::fill(counters_.begin(), counters_.end(), std::uint8_t{0});
+}
+
 CanFrame CanPacker::pack(MessageHandle msg, std::span<const double> values) {
   const DbcMessage& layout = db_->message(msg);
 
@@ -54,6 +58,12 @@ CanParser::CanParser(const Database& db)
     : db_(&db),
       last_counter_(db.schema().message_count(), -1),
       values_(db.schema().max_signals_per_message(), 0.0) {}
+
+void CanParser::reset() noexcept {
+  std::fill(last_counter_.begin(), last_counter_.end(), std::int16_t{-1});
+  checksum_errors_ = 0;
+  counter_errors_ = 0;
+}
 
 const CanParser::ParsedFrame* CanParser::parse_flat(const CanFrame& frame) {
   const MessageHandle msg = db_->schema().message_by_id(frame.id);

@@ -52,6 +52,10 @@ class CanPacker {
   CanFrame pack(const std::string& message_name,
                 const std::map<std::string, double>& values);
 
+  /// Restart every per-message rolling counter at 0, as if freshly
+  /// constructed against the same database. No allocation.
+  void reset_counters() noexcept;
+
  private:
   const Database* db_;
   std::vector<std::uint8_t> counters_;  ///< per message index (dense)
@@ -100,6 +104,10 @@ class CanParser {
 
   /// Number of counter discontinuities seen so far.
   std::uint64_t counter_errors() const noexcept { return counter_errors_; }
+
+  /// Forget all per-message counter history and zero the error counters,
+  /// as if freshly constructed against the same database. No allocation.
+  void reset() noexcept;
 
  private:
   const Database* db_;

@@ -400,6 +400,39 @@ void add_bus_kernel_row(Report& report, std::ostream* progress) {
                      " typed publishes in " + std::to_string(wall) + " s");
 }
 
+/// The `World::reset` kernel row of BENCH_table4.json: re-arming one
+/// resident World (the per-worker arena lifecycle) across the campaign's
+/// attack-item shape, allocation-free and bit-identical to fresh
+/// construction. "simulations" holds the fixed reset count and sims_per_s
+/// the reset throughput; the remaining aggregate columns are structurally
+/// zero, so bench_diff.py's deterministic-column check applies unchanged.
+void add_world_reset_kernel_row(Report& report, std::ostream* progress) {
+  constexpr std::size_t kOps = 2'000;
+  const exp::WorldAssets assets = exp::WorldAssets::make_default();
+  exp::CampaignItem item;
+  item.strategy = attack::StrategyKind::kContextAware;
+  item.type = attack::AttackType::kAcceleration;
+  sim::World world(exp::world_config_for(item, assets));
+
+  double sink = 0.0;
+  const auto start = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < kOps; ++i) {
+    item.seed = i + 1;
+    world.reset(exp::world_config_for(item, assets));
+    sink += world.ego_state().speed;
+  }
+  const double wall = util::seconds_since(start);
+  // Keep the loop observable without polluting the report.
+  if (!std::isfinite(sink)) note(progress, "[bench] reset sink overflow");
+
+  report.add_row(
+      {std::string("World::reset"), ll(kOps), wall,
+       wall > 0.0 ? static_cast<double>(kOps) / wall : 0.0, 0LL, 0LL, 0LL,
+       0LL, 0LL, 0.0, 0.0, 0.0});
+  note(progress, "[bench] World::reset: " + std::to_string(kOps) +
+                     " in-place resets in " + std::to_string(wall) + " s");
+}
+
 }  // namespace
 
 Report bench_report(const CampaignOptions& options, std::ostream* progress) {
@@ -446,6 +479,7 @@ Report bench_report(const CampaignOptions& options, std::ostream* progress) {
        0LL, 0LL, 0LL, 0LL, 0LL, 0.0, 0.0, 0.0});
   add_project_kernel_row(report, progress);
   add_bus_kernel_row(report, progress);
+  add_world_reset_kernel_row(report, progress);
   return report;
 }
 

@@ -47,6 +47,15 @@ class ContextAwareMonitor {
   /// Feed one cycle; returns true while an unsafe-action alarm is active.
   bool update(const MonitorInputs& in, double dt) noexcept;
 
+  /// Back to the freshly constructed state (same config): persistence
+  /// windows, clock, and alarm memory all clear.
+  void reset() noexcept {
+    for (double& since : unsafe_since_) since = -1.0;
+    clock_ = 0.0;
+    alarm_time_ = -1.0;
+    alarm_action_ = attack::UnsafeAction::kAcceleration;
+  }
+
   /// True once alarmed at least once.
   bool alarmed() const noexcept { return alarm_time_ >= 0.0; }
 

@@ -57,6 +57,16 @@ class ControlInvariantDetector {
   /// Feed one cycle; returns true while the alarm is raised.
   bool update(const InvariantInputs& in, double dt) noexcept;
 
+  /// Back to the freshly constructed state (same config): scores, clock,
+  /// and alarm memory all clear.
+  void reset() noexcept {
+    expected_accel_ = 0.0;
+    physics_cusum_ = 0.0;
+    intent_cusum_ = 0.0;
+    clock_ = 0.0;
+    alarm_time_ = -1.0;
+  }
+
   /// True once the alarm has fired at least once.
   bool alarmed() const noexcept { return alarm_time_ >= 0.0; }
 

@@ -1,0 +1,45 @@
+#include "exp/arena.hpp"
+
+#include <algorithm>
+
+namespace scaa::exp {
+
+void WorldArena::run_items(std::span<const CampaignItem> items,
+                           const WorldAssets& assets,
+                           std::span<sim::SimulationSummary> out) {
+  for (std::size_t begin = 0; begin < items.size(); begin += kBatchWorlds) {
+    const std::size_t end = std::min(items.size(), begin + kBatchWorlds);
+    batch_.clear();
+    for (std::size_t j = 0; begin + j < end; ++j) {
+      sim::WorldConfig cfg = world_config_for(items[begin + j], assets);
+      if (j < worlds_.size()) {
+        worlds_[j]->reset(cfg);
+      } else {
+        worlds_.push_back(std::make_unique<sim::World>(std::move(cfg)));
+      }
+      batch_.add(worlds_[j].get());
+    }
+    batch_.run_all();
+    for (std::size_t j = 0; begin + j < end; ++j)
+      out[begin + j] = worlds_[j]->summarize();
+  }
+}
+
+std::unique_ptr<WorldArena> ArenaPool::acquire() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (!free_.empty()) {
+      std::unique_ptr<WorldArena> arena = std::move(free_.back());
+      free_.pop_back();
+      return arena;
+    }
+  }
+  return std::make_unique<WorldArena>();
+}
+
+void ArenaPool::release(std::unique_ptr<WorldArena> arena) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  free_.push_back(std::move(arena));
+}
+
+}  // namespace scaa::exp

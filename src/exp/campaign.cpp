@@ -1,11 +1,13 @@
 #include "exp/campaign.hpp"
 
 #include <algorithm>
+#include <array>
 #include <atomic>
 #include <mutex>
 #include <stdexcept>
 #include <string>
 
+#include "exp/arena.hpp"
 #include "exp/checkpoint.hpp"
 #include "road/builder.hpp"
 #include "util/rng.hpp"
@@ -102,6 +104,11 @@ struct CommitErrors {
   }
 };
 
+/// Task granularity for the unchunked runner path: a couple of arena
+/// batches per task, small enough to keep every worker busy on modest
+/// grids, large enough that each task amortizes its arena checkout.
+constexpr std::size_t kArenaTask = 2 * kBatchWorlds;
+
 }  // namespace
 
 std::vector<CampaignResult> run_campaign(const std::vector<CampaignItem>& items,
@@ -111,15 +118,23 @@ std::vector<CampaignResult> run_campaign(const std::vector<CampaignItem>& items,
   for (std::size_t i = 0; i < items.size(); ++i) results[i].item = items[i];
   const WorldAssets assets = WorldAssets::make_default();
 
+  // Declared before the pools so leased arenas outlive every task.
+  ArenaPool arenas;
+
   if (checkpoint == nullptr) {
-    // Per-item tasks (not chunks): this path materializes results[i] by
-    // index, so no reduction order is at stake, and fine granularity keeps
-    // every worker busy even on small grids.
+    // Small tasks (not checkpoint chunks): this path materializes
+    // results[i] by index, so no reduction order is at stake, and fine
+    // granularity keeps every worker busy even on small grids.
     ThreadPool pool(config.threads);
-    for (std::size_t i = 0; i < items.size(); ++i) {
-      pool.submit([&items, &results, &assets, i] {
-        sim::World world(world_config_for(items[i], assets));
-        results[i].summary = world.run();
+    for (std::size_t begin = 0; begin < items.size(); begin += kArenaTask) {
+      const std::size_t end = std::min(items.size(), begin + kArenaTask);
+      pool.submit([&items, &results, &assets, &arenas, begin, end] {
+        ArenaPool::Lease lease(arenas);
+        std::array<sim::SimulationSummary, kArenaTask> summaries;
+        lease->run_items({items.data() + begin, end - begin}, assets,
+                         {summaries.data(), end - begin});
+        for (std::size_t i = begin; i < end; ++i)
+          results[i].summary = summaries[i - begin];
       });
     }
     pool.wait_idle();
@@ -137,13 +152,18 @@ std::vector<CampaignResult> run_campaign(const std::vector<CampaignItem>& items,
     ThreadPool pool(config.threads);
     for (std::size_t c = 0; c < n_chunks; ++c) {
       if (checkpoint->chunk_complete(c)) continue;
-      pool.submit([&items, &results, &assets, checkpoint, &errors, c] {
+      pool.submit([&items, &results, &assets, &arenas, checkpoint, &errors,
+                   c] {
         if (errors.failed.load(std::memory_order_acquire)) return;
         const std::size_t begin = c * kCampaignChunk;
         const std::size_t end = std::min(items.size(), begin + kCampaignChunk);
-        for (std::size_t i = begin; i < end; ++i) {
-          sim::World world(world_config_for(items[i], assets));
-          results[i].summary = world.run();
+        {
+          ArenaPool::Lease lease(arenas);
+          std::array<sim::SimulationSummary, kCampaignChunk> summaries;
+          lease->run_items({items.data() + begin, end - begin}, assets,
+                           {summaries.data(), end - begin});
+          for (std::size_t i = begin; i < end; ++i)
+            results[i].summary = summaries[i - begin];
         }
         try {
           checkpoint->commit(c, results.data() + begin, end - begin);
@@ -282,20 +302,27 @@ Aggregate run_campaign_streaming(const std::vector<CampaignItem>& items,
 
   std::mutex progress_mutex;
   std::size_t completed = restored;
+  ArenaPool arenas;
   CommitErrors errors;
   {
     ThreadPool pool(config.threads);
     for (std::size_t c = 0; c < n_chunks; ++c) {
       if (checkpoint != nullptr && checkpoint->chunk_complete(c)) continue;
       pool.submit([&items, &assets, &partials, &progress, &progress_mutex,
-                   &completed, checkpoint, &errors, c] {
+                   &completed, &arenas, checkpoint, &errors, c] {
         if (errors.failed.load(std::memory_order_acquire)) return;
         const std::size_t begin = c * kCampaignChunk;
         const std::size_t end =
             std::min(items.size(), begin + kCampaignChunk);
-        for (std::size_t i = begin; i < end; ++i) {
-          sim::World world(world_config_for(items[i], assets));
-          partials[c].acc.add(world.run());
+        {
+          ArenaPool::Lease lease(arenas);
+          std::array<sim::SimulationSummary, kCampaignChunk> summaries;
+          lease->run_items({items.data() + begin, end - begin}, assets,
+                           {summaries.data(), end - begin});
+          // Fold in item order within the chunk — the same order the
+          // sequential reduction uses.
+          for (std::size_t i = begin; i < end; ++i)
+            partials[c].acc.add(summaries[i - begin]);
         }
         // Commit before reporting progress: a chunk only ever counts as
         // done once it is durable.

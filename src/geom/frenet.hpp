@@ -35,12 +35,18 @@ class FrenetFrame {
   /// point. accept(reference().project(p, hint())) == to_frenet(p).
   FrenetPoint accept(const Polyline::Projection& proj) noexcept {
     hint_s_ = proj.s;
+    hint_segment_ = proj.segment;
     return {proj.s, proj.lateral};
   }
 
   /// Search hint for the next projection: arc length of the last accepted
   /// projection, or negative before any (full search).
   double hint() const noexcept { return hint_s_; }
+
+  /// Segment index of the last accepted projection, or
+  /// Polyline::kNoSegmentHint before any. Seeds the hinted heading /
+  /// curvature queries so per-tick road sampling skips the segment search.
+  std::size_t hint_segment() const noexcept { return hint_segment_; }
 
   /// The reference line this frame projects onto.
   const Polyline& reference() const noexcept { return *ref_; }
@@ -57,12 +63,19 @@ class FrenetFrame {
   /// (finite difference of heading; positive = left curve).
   double curvature_at(double s, double ds = 1.0) const noexcept;
 
+  /// curvature_at(s, ds), seeded with a segment index near s. The hint
+  /// only starts the segment walk, so the result is bit-identical to the
+  /// unhinted overload for any hint (including Polyline::kNoSegmentHint).
+  double curvature_at(double s, double ds,
+                      std::size_t segment_hint) const noexcept;
+
   /// Total reference-line length.
   double length() const noexcept { return ref_->length(); }
 
  private:
   const Polyline* ref_;
   double hint_s_ = -1.0;
+  std::size_t hint_segment_ = Polyline::kNoSegmentHint;
 };
 
 }  // namespace scaa::geom

@@ -77,6 +77,20 @@ std::size_t Polyline::segment_index(double s) const noexcept {
   return i;
 }
 
+std::size_t Polyline::segment_index_near(double s,
+                                         std::size_t hint) const noexcept {
+  // Identical monotone walk to segment_index(), started from the hint
+  // instead of the scaled guess: the walk converges to the unique i with
+  // cum_[i] <= s < cum_[i+1] from any starting segment, so the two
+  // functions always agree. Callers pass the segment of a projection whose
+  // s is within a tick of this query, making the walk O(1).
+  const std::size_t last = pts_.size() - 2;
+  std::size_t i = hint > last ? last : hint;
+  while (i < last && cum_[i + 1] <= s) ++i;
+  while (i > 0 && cum_[i] > s) --i;
+  return i;
+}
+
 Vec2 Polyline::position_at(double s) const noexcept {
   if (s <= 0.0) return pts_.front();
   if (s >= length()) return pts_.back();
@@ -93,6 +107,13 @@ double Polyline::heading_at(double s) const noexcept {
   if (s <= 0.0) return headings_.front();
   if (s >= length()) return headings_.back();
   return headings_[segment_index(s)];
+}
+
+double Polyline::heading_at(double s, std::size_t segment_hint) const noexcept {
+  if (segment_hint == kNoSegmentHint) return heading_at(s);
+  if (s <= 0.0) return headings_.front();
+  if (s >= length()) return headings_.back();
+  return headings_[segment_index_near(s, segment_hint)];
 }
 
 std::size_t Polyline::best_segment(Vec2 p, std::size_t lo,
@@ -201,6 +222,7 @@ Polyline::Projection Polyline::finalize(Vec2 p, std::size_t i) const noexcept {
   out.closest = {cx, cy};
   out.s = cum_[i] + len_[i] * t;
   out.lateral = tx_[i] * (p.y - cy) - ty_[i] * (p.x - cx);
+  out.segment = i;
   return out;
 }
 
@@ -254,6 +276,7 @@ Polyline::Projection Polyline::project_reference(Vec2 p) const noexcept {
       best.s = cum_[i] + std::sqrt(len_sq) * t;
       const Vec2 tangent = ab.normalized();
       best.lateral = tangent.cross(p - c);
+      best.segment = i;
     }
   }
   return best;

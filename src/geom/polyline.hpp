@@ -43,11 +43,22 @@ class Polyline {
   /// last segment's heading beyond the ends).
   double heading_at(double s) const noexcept;
 
+  /// Sentinel for "no segment hint" in the hinted query overloads below.
+  static constexpr std::size_t kNoSegmentHint = static_cast<std::size_t>(-1);
+
+  /// heading_at(s), but seeded with a segment index near s — typically the
+  /// segment of a recent projection. The hint is only a starting point for
+  /// the same monotone walk segment_index() performs, so the result is
+  /// bit-identical to heading_at(s) for ANY hint value (kNoSegmentHint
+  /// falls back to the scaled-guess search).
+  double heading_at(double s, std::size_t segment_hint) const noexcept;
+
   /// Projection result of a world point onto the polyline.
   struct Projection {
     double s = 0.0;         ///< arc length of the closest point
     double lateral = 0.0;   ///< signed offset; positive = left of tangent
     Vec2 closest;           ///< closest point on the polyline
+    std::size_t segment = 0;  ///< index of the winning segment
   };
 
   /// Project @p p to the closest point on the polyline.
@@ -84,6 +95,11 @@ class Polyline {
 
  private:
   std::size_t segment_index(double s) const noexcept;
+
+  /// segment_index(s) seeded with a caller-supplied starting segment
+  /// instead of the scaled guess. Runs the identical monotone walk, so it
+  /// returns the identical index for any in-range starting point.
+  std::size_t segment_index_near(double s, std::size_t hint) const noexcept;
 
   /// SoA distance scan over segments [lo, hi): returns the index of the
   /// segment whose clamped foot point is nearest to @p p (first such index

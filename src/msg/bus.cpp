@@ -208,6 +208,13 @@ void PubSubBus::sweep_dead() {
   sweep_pending_ = false;
 }
 
+void PubSubBus::reset() noexcept {
+  // Sequence counters restart; subscriptions, subscription ids, and
+  // scratch capacity all survive (see the header for why that retention
+  // is the point).
+  for (TopicState& st : topics_) st.sequence = 0;
+}
+
 std::uint64_t PubSubBus::published_count(Topic topic) const noexcept {
   return topic_valid(topic) ? topics_[topic_index(topic)].sequence : 0;
 }

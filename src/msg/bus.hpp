@@ -164,6 +164,15 @@ class PubSubBus {
     }
   }
 
+  /// Re-arm the bus for a new simulation: every per-topic sequence counter
+  /// restarts from zero while every subscription — typed and raw — stays
+  /// attached, and scratch buffers keep their capacity. Retaining the
+  /// subscriber set is deliberate and security-relevant: an eavesdropper
+  /// that tapped a topic once keeps receiving byte-identical frames across
+  /// World resets, and the restarted sequence numbers stay gap-free, so
+  /// nothing on the wire reveals that a new simulation began.
+  void reset() noexcept;
+
   /// Messages published so far on @p topic (0 for an invalid topic).
   std::uint64_t published_count(Topic topic) const noexcept;
 
@@ -249,6 +258,14 @@ class Latest {
 
   /// Subscription id (for unsubscribe).
   std::uint64_t subscription_id() const noexcept { return id_; }
+
+  /// Forget the latched value (back to default-constructed, valid() ==
+  /// false) while keeping the subscription attached. Used by the World
+  /// reset path so consumers start a new simulation with no stale state.
+  void reset() noexcept {
+    value_ = M{};
+    updates_ = 0;
+  }
 
  private:
   M value_{};

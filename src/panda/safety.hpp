@@ -48,6 +48,16 @@ class PandaSafety {
   /// Attach as an interceptor on @p bus; returns the attachment id.
   std::uint64_t attach(can::CanBus& bus);
 
+  /// Zero the statistics and per-message frame history for a new
+  /// simulation, keeping the resolved signal handles and any bus
+  /// attachment. Allocation-free.
+  void reset() noexcept {
+    stats_ = PandaStats{};
+    parser_.reset();
+    has_last_steer_ = false;
+    last_steer_deg_ = 0.0;
+  }
+
   /// Enforcement statistics.
   const PandaStats& stats() const noexcept { return stats_; }
 

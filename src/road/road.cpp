@@ -47,6 +47,11 @@ double Road::curvature_at(double s) const noexcept {
   return frame.curvature_at(s, 2.0);
 }
 
+double Road::curvature_at(double s, std::size_t segment_hint) const noexcept {
+  geom::FrenetFrame frame(reference_);
+  return frame.curvature_at(s, 2.0, segment_hint);
+}
+
 double Road::distance_to_left_edge(double d, std::size_t lane) const noexcept {
   return profile_.lane_left_edge(lane) - d;
 }

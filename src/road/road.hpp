@@ -62,6 +62,11 @@ class Road {
   /// Signed curvature at arc length s (positive = left curve).
   double curvature_at(double s) const noexcept;
 
+  /// curvature_at(s), seeded with a segment index near s (typically from a
+  /// projection of the querying vehicle). Bit-identical result for any
+  /// hint, including geom::Polyline::kNoSegmentHint.
+  double curvature_at(double s, std::size_t segment_hint) const noexcept;
+
   /// Distance from lateral offset @p d to the LEFT edge of lane @p lane.
   /// Positive while inside the lane (paper's d_left).
   double distance_to_left_edge(double d, std::size_t lane) const noexcept;
@@ -97,6 +102,12 @@ class Road {
   /// Heading of the road at arc length s.
   double heading_at(double s) const noexcept {
     return reference_.heading_at(s);
+  }
+
+  /// heading_at(s), seeded with a segment index near s. Bit-identical
+  /// result for any hint (see geom::Polyline::heading_at overloads).
+  double heading_at(double s, std::size_t segment_hint) const noexcept {
+    return reference_.heading_at(s, segment_hint);
   }
 
  private:

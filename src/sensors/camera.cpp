@@ -14,6 +14,17 @@ CameraLaneModel::CameraLaneModel(msg::PubSubBus& bus, const road::Road& road,
   steps_per_frame_ = static_cast<std::uint64_t>(std::max(1.0, steps));
 }
 
+void CameraLaneModel::reset(const road::Road& road, CameraConfig config,
+                            util::Rng rng) noexcept {
+  road_ = &road;
+  config_ = config;
+  rng_ = rng;
+  const double steps = 100.0 / std::max(1.0, config_.rate_hz);
+  steps_per_frame_ = static_cast<std::uint64_t>(std::max(1.0, steps));
+  bias_ = 0.0;
+  delay_line_.clear();  // capacity kept: steady-state resets do not allocate
+}
+
 msg::ModelV2 CameraLaneModel::make_measurement(
     std::uint64_t step_index, const vehicle::VehicleState& truth,
     std::size_t ego_lane, RoadSample road) {

@@ -50,6 +50,12 @@ class CameraLaneModel {
   CameraLaneModel(msg::PubSubBus& bus, const road::Road& road,
                   CameraConfig config, util::Rng rng);
 
+  /// Re-arm with a fresh road/config/RNG, exactly as constructed (same
+  /// bus): the wandering bias restarts at zero and the latency delay line
+  /// empties, keeping its capacity. No allocation.
+  void reset(const road::Road& road, CameraConfig config,
+             util::Rng rng) noexcept;
+
   /// Advance one 10 ms step; publishes at the configured rate with latency.
   /// Queries the road itself — for callers without a hoisted RoadSample.
   void step(std::uint64_t step_index, const vehicle::VehicleState& truth,

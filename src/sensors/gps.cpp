@@ -18,6 +18,13 @@ GpsModel::GpsModel(msg::PubSubBus& bus, GpsConfig config, util::Rng rng)
   steps_per_fix_ = static_cast<std::uint64_t>(std::max(1.0, steps));
 }
 
+void GpsModel::reset(GpsConfig config, util::Rng rng) noexcept {
+  config_ = config;
+  rng_ = rng;
+  const double steps = 100.0 / std::max(1.0, config_.rate_hz);
+  steps_per_fix_ = static_cast<std::uint64_t>(std::max(1.0, steps));
+}
+
 void GpsModel::step(std::uint64_t step_index,
                     const vehicle::VehicleState& truth) {
   if (step_index % steps_per_fix_ != 0) return;

@@ -24,6 +24,10 @@ class GpsModel {
  public:
   GpsModel(msg::PubSubBus& bus, GpsConfig config, util::Rng rng);
 
+  /// Re-arm with a fresh config and RNG stream, exactly as constructed
+  /// (same bus). No allocation.
+  void reset(GpsConfig config, util::Rng rng) noexcept;
+
   /// Advance to time step @p step_index (10 ms steps); publishes when the
   /// configured rate divides the step.
   void step(std::uint64_t step_index, const vehicle::VehicleState& truth);

@@ -11,6 +11,13 @@ RadarModel::RadarModel(msg::PubSubBus& bus, RadarConfig config, util::Rng rng)
   steps_per_update_ = static_cast<std::uint64_t>(std::max(1.0, steps));
 }
 
+void RadarModel::reset(RadarConfig config, util::Rng rng) noexcept {
+  config_ = config;
+  rng_ = rng;
+  const double steps = 100.0 / std::max(1.0, config_.rate_hz);
+  steps_per_update_ = static_cast<std::uint64_t>(std::max(1.0, steps));
+}
+
 void RadarModel::step(std::uint64_t step_index,
                       const std::optional<LeadTruth>& truth) {
   if (step_index % steps_per_update_ != 0) return;

@@ -26,6 +26,10 @@ class RadarModel {
  public:
   RadarModel(msg::PubSubBus& bus, RadarConfig config, util::Rng rng);
 
+  /// Re-arm with a fresh config and RNG stream, exactly as constructed
+  /// (same bus). No allocation.
+  void reset(RadarConfig config, util::Rng rng) noexcept;
+
   /// Ground truth of the lead as seen this step; nullopt when no lead
   /// exists in the scenario.
   struct LeadTruth {

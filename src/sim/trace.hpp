@@ -35,6 +35,10 @@ class Trace {
   std::size_t size() const noexcept { return rows_.size(); }
   void reserve(std::size_t n) { rows_.reserve(n); }
 
+  /// Drop all rows, keeping the capacity — a trace reused across World
+  /// resets records the next run without reallocating.
+  void clear() noexcept { rows_.clear(); }
+
   /// Write all rows as CSV (with header) to @p out.
   void write_csv(std::ostream& out) const;
 

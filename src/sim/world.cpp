@@ -1,9 +1,8 @@
 #include "sim/world.hpp"
 
-#include <algorithm>
-#include <array>
-#include <cassert>
 #include <cmath>
+#include <cstddef>
+#include <stdexcept>
 
 #include "util/math.hpp"
 #include "util/units.hpp"
@@ -15,15 +14,19 @@ namespace {
 /// Lane-tracking steering for scripted (non-ADAS) traffic: curvature
 /// feed-forward plus P on lateral offset and heading error. These vehicles
 /// are ideal drivers — all interesting imperfection lives in the Ego stack.
+/// The segment hint (each vehicle's cached Frenet segment) turns the two
+/// road queries into O(1) walks; the result is bit-identical to the
+/// unhinted lookup for any hint.
 double tracking_steer(const road::Road& road,
                       const vehicle::VehicleState& state,
-                      double lane_center_d, double wheelbase) {
+                      double lane_center_d, double wheelbase,
+                      std::size_t segment_hint) {
   const double kp_offset = 0.015;
   const double kp_heading = 0.8;
-  const double road_heading = road.heading_at(state.s);
+  const double road_heading = road.heading_at(state.s, segment_hint);
   const double heading_err =
       math::wrap_angle(road_heading - state.pose.heading);
-  const double curvature = road.curvature_at(state.s) +
+  const double curvature = road.curvature_at(state.s, segment_hint) +
                            kp_offset * (lane_center_d - state.d) +
                            kp_heading * heading_err * 0.05;
   return std::atan(wheelbase * curvature);
@@ -56,46 +59,34 @@ World::World(WorldConfig config)
       db_(config_.db ? config_.db
                      : std::make_shared<const can::Database>(
                            can::Database::simulated_car())) {
+  // Construction only allocates and wires; all simulation state comes from
+  // reset_in_place() below, the same code path reset() runs — which is what
+  // makes a reset World bit-identical to a fresh one.
+  //
+  // The layout is shape-invariant: every vehicle and the attack engine are
+  // always constructed, whatever the scenario/attack flags say, so reset()
+  // can re-target this instance to any campaign item without touching the
+  // heap. Placement arguments here are placeholders.
   const road::Road& road = *road_;
   const can::Database& db = *db_;
-  const auto& profile = road.profile();
-  lane0_center_ = profile.lane_center(0);
-  lane1_center_ = profile.lane_center(1);
-  util::Rng rng(config_.seed);
 
   // --- actors -----------------------------------------------------------
-  // Ego starts in the right lane (lane 0, nearer the right guardrail).
-  const double ego_s0 = 30.0;
-  const double lane0 = lane0_center_;
-  ego_ = std::make_unique<vehicle::Vehicle>(road, config_.ego_params, ego_s0,
-                                            lane0, config_.scenario.ego_speed);
-
-  vehicle::VehicleParams traffic_params = config_.ego_params;
-  const double lead_s0 = ego_s0 + config_.scenario.initial_gap +
-                         config_.ego_params.length;  // bumper gap -> centers
-  lead_ = std::make_unique<vehicle::Vehicle>(
-      road, traffic_params, lead_s0, lane0,
-      config_.scenario.lead.initial_speed);
-
-  if (config_.scenario.with_trailing) {
-    trailing_ = std::make_unique<vehicle::Vehicle>(
-        road, traffic_params,
-        ego_s0 - config_.scenario.trailing_gap - config_.ego_params.length,
-        lane0, config_.scenario.ego_speed);
-  }
-  if (config_.scenario.with_neighbor) {
-    neighbor_ = std::make_unique<vehicle::Vehicle>(
-        road, traffic_params, ego_s0 + config_.scenario.neighbor_offset,
-        lane1_center_, config_.scenario.ego_speed);
-  }
+  ego_ = std::make_unique<vehicle::Vehicle>(road, config_.ego_params, 0.0,
+                                            0.0, 0.0);
+  lead_ = std::make_unique<vehicle::Vehicle>(road, config_.ego_params, 0.0,
+                                             0.0, 0.0);
+  trailing_ = std::make_unique<vehicle::Vehicle>(road, config_.ego_params,
+                                                 0.0, 0.0, 0.0);
+  neighbor_ = std::make_unique<vehicle::Vehicle>(road, config_.ego_params,
+                                                 0.0, 0.0, 0.0);
 
   // --- sensors -----------------------------------------------------------
   gps_ = std::make_unique<sensors::GpsModel>(msg_bus_, config_.gps,
-                                             rng.fork(11));
+                                             util::Rng(0));
   camera_ = std::make_unique<sensors::CameraLaneModel>(
-      msg_bus_, road, config_.camera, rng.fork(12));
+      msg_bus_, road, config_.camera, util::Rng(0));
   radar_ = std::make_unique<sensors::RadarModel>(msg_bus_, config_.radar,
-                                                 rng.fork(13));
+                                                 util::Rng(0));
 
   // --- car gateway: decodes command frames into actuator requests --------
   // Handles resolved here, once; the receiver then decodes every frame
@@ -124,13 +115,11 @@ World::World(WorldConfig config)
   // CanBus runs interceptors in attachment order; attaching the attacker
   // here places it between the ADAS (sender) and the gateway (receiver),
   // i.e. at the OBD-II position, after OpenPilot's in-process checks.
-  if (config_.attack_enabled) {
-    attack::AttackConfig atk = config_.attack;
-    atk.cruise_speed = config_.scenario.cruise_speed;
-    attack_engine_ = std::make_unique<attack::AttackEngine>(
-        atk, msg_bus_, can_bus_, db, config_.ego_params.half_width(),
-        rng.fork(14));
-  }
+  // Always attached: with the attack disabled the engine never steps and
+  // its interceptor passes every frame through untouched.
+  attack_engine_ = std::make_unique<attack::AttackEngine>(
+      active_attack_config(), msg_bus_, can_bus_, db,
+      config_.ego_params.half_width(), util::Rng(0));
 
   // --- optional Panda firmware enforcement --------------------------------
   // The paper's CARLA rig bypasses Panda; enable panda_enforced to study
@@ -138,7 +127,7 @@ World::World(WorldConfig config)
   // attacker, it polices the frames the actuators actually receive.
   if (config_.panda_enforced) {
     panda_ = std::make_unique<panda::PandaSafety>(db, panda::PandaLimits{});
-    panda_->attach(can_bus_);
+    panda_attach_id_ = panda_->attach(can_bus_);
   }
 
   // --- ADAS ----------------------------------------------------------------
@@ -146,44 +135,156 @@ World::World(WorldConfig config)
   cc.cruise_speed = config_.scenario.cruise_speed;
   controls_ = std::make_unique<adas::Controls>(msg_bus_, can_bus_, db, cc,
                                                config_.ego_params,
-                                               rng.fork(16));
-
-  // --- environment disturbance stream --------------------------------------
-  env_rng_ = rng.fork(15);
+                                               util::Rng(0));
 
   // --- driver & monitor ----------------------------------------------------
   driver_ = std::make_unique<driver::DriverModel>(
       config_.driver, config_.ego_params.wheelbase);
   monitor_ = std::make_unique<SafetyMonitor>(road, config_.monitor,
                                              /*ego_lane=*/0);
+
+  reset_in_place();
 }
 
 World::~World() = default;
+
+attack::AttackConfig World::active_attack_config() const {
+  attack::AttackConfig atk = config_.attack;
+  atk.cruise_speed = config_.scenario.cruise_speed;
+  return atk;
+}
+
+void World::reset(const WorldConfig& config) {
+  if (config.db && config.db != db_) {
+    throw std::invalid_argument(
+        "World::reset: the CAN database must stay the same instance across "
+        "reset (codec handles and bus wiring are resolved against it); "
+        "pass a null db to keep the current one");
+  }
+  std::shared_ptr<const road::Road> road = config.road ? config.road : road_;
+  std::shared_ptr<const can::Database> db = db_;
+  config_ = config;
+  road_ = std::move(road);
+  db_ = std::move(db);
+
+  // Panda is the one genuinely optional node: toggle its interceptor to
+  // match the new config (the only reset path that may touch the heap).
+  if (config_.panda_enforced && !panda_) {
+    panda_ = std::make_unique<panda::PandaSafety>(*db_, panda::PandaLimits{});
+    panda_attach_id_ = panda_->attach(can_bus_);
+  } else if (!config_.panda_enforced && panda_) {
+    can_bus_.detach(panda_attach_id_);
+    panda_attach_id_ = 0;
+    panda_.reset();
+  }
+
+  reset_in_place();
+}
+
+void World::reset_in_place() {
+  const road::Road& road = *road_;
+  const auto& profile = road.profile();
+  lane0_center_ = profile.lane_center(0);
+  lane1_center_ = profile.lane_center(1);
+  util::Rng rng(config_.seed);
+
+  // --- actors -----------------------------------------------------------
+  // Ego starts in the right lane (lane 0, nearer the right guardrail).
+  const double ego_s0 = 30.0;
+  ego_->reset(road, config_.ego_params, ego_s0, lane0_center_,
+              config_.scenario.ego_speed);
+
+  const vehicle::VehicleParams traffic_params = config_.ego_params;
+  const double lead_s0 = ego_s0 + config_.scenario.initial_gap +
+                         config_.ego_params.length;  // bumper gap -> centers
+  lead_->reset(road, traffic_params, lead_s0, lane0_center_,
+               config_.scenario.lead.initial_speed);
+
+  has_trailing_ = config_.scenario.with_trailing;
+  has_neighbor_ = config_.scenario.with_neighbor;
+  trailing_->reset(
+      road, traffic_params,
+      ego_s0 - config_.scenario.trailing_gap - config_.ego_params.length,
+      lane0_center_, config_.scenario.ego_speed);
+  neighbor_->reset(road, traffic_params,
+                   ego_s0 + config_.scenario.neighbor_offset, lane1_center_,
+                   config_.scenario.ego_speed);
+
+  // --- buses --------------------------------------------------------------
+  // Sequence/frame counters restart; subscriptions, taps, interceptors and
+  // the gateway receiver keep their wiring (the eavesdropping surface).
+  msg_bus_.reset();
+  can_bus_.reset_counters();
+
+  // --- sensors ------------------------------------------------------------
+  gps_->reset(config_.gps, rng.fork(11));
+  camera_->reset(road, config_.camera, rng.fork(12));
+  radar_->reset(config_.radar, rng.fork(13));
+
+  // --- car gateway --------------------------------------------------------
+  gateway_parser_->reset();
+  gateway_accel_cmd_ = 0.0;
+  gateway_steer_cmd_ = 0.0;
+  gateway_rejects_ = 0;
+  camera_lane_ = 0;
+
+  // --- attack engine & Panda ---------------------------------------------
+  attack_engine_->reset(active_attack_config(),
+                        config_.ego_params.half_width(), rng.fork(14));
+  if (panda_) panda_->reset();
+
+  // --- ADAS ---------------------------------------------------------------
+  adas::ControlsConfig cc = config_.controls;
+  cc.cruise_speed = config_.scenario.cruise_speed;
+  controls_->reset(*db_, cc, config_.ego_params, rng.fork(16));
+
+  // --- environment disturbance stream --------------------------------------
+  env_rng_ = rng.fork(15);
+  steer_disturbance_ = 0.0;
+
+  // --- driver & monitor ----------------------------------------------------
+  *driver_ = driver::DriverModel(config_.driver, config_.ego_params.wheelbase);
+  *monitor_ = SafetyMonitor(road, config_.monitor, /*ego_lane=*/0);
+
+  // --- tick bookkeeping -----------------------------------------------------
+  tick_curvature_ = 0.0;
+  tick_heading_ = 0.0;
+  time_ = 0.0;
+  step_index_ = 0;
+  finished_ = false;
+  ran_ = false;
+  driver_was_engaged_ = false;
+  last_alert_events_ = 0;
+  alert_seen_before_hazard_ = false;
+}
 
 const vehicle::VehicleState& World::ego_state() const noexcept {
   return ego_->state();
 }
 
-void World::project_vehicles(std::span<vehicle::Vehicle* const> vehicles) {
-  // Sized for every vehicle the World can own (Ego + lead + trailing +
-  // neighbor); the assert guards the stack buffers if an actor is added.
-  constexpr std::size_t kMaxVehicles = 4;
-  assert(vehicles.size() <= kMaxVehicles);
-  std::array<geom::Vec2, kMaxVehicles> points;
-  std::array<double, kMaxVehicles> hints;
-  std::array<geom::Polyline::Projection, kMaxVehicles> projections;
-  const std::size_t n = std::min(vehicles.size(), kMaxVehicles);
-  for (std::size_t i = 0; i < n; ++i) {
-    points[i] = vehicles[i]->state().pose.position;
-    hints[i] = vehicles[i]->frenet_hint();
-  }
-  road_->project_many({points.data(), n}, {hints.data(), n},
-                      {projections.data(), n});
-  for (std::size_t i = 0; i < n; ++i)
-    vehicles[i]->apply_projection(projections[i]);
+void World::apply_pending(PendingProjections& pend) noexcept {
+  for (std::size_t i = 0; i < pend.count; ++i)
+    pend.vehicles[i]->apply_projection(pend.projections[i]);
+  pend.count = 0;
 }
 
-void World::step_traffic() {
+void World::project_pending(PendingProjections& pend) {
+  road_->project_many({pend.points.data(), pend.count},
+                      {pend.hints.data(), pend.count},
+                      {pend.projections.data(), pend.count});
+  apply_pending(pend);
+}
+
+void World::begin_tick(PendingProjections& pend) {
+  // Road queries at the Ego's (pre-step) arc length, looked up once per
+  // tick and shared by the camera model and the driver observation in
+  // mid_tick (hinted by the Ego's cached Frenet segment, so each is an
+  // O(1) walk instead of a fresh segment search).
+  const double ego_s = ego_->state().s;
+  const std::size_t ego_seg = ego_->frenet_segment();
+  tick_curvature_ = road_->curvature_at(ego_s, ego_seg);
+  tick_heading_ = road_->heading_at(ego_s, ego_seg);
+
   const double dt = config_.dt;
   const road::Road& road = *road_;
   const auto wheelbase = config_.ego_params.wheelbase;
@@ -192,30 +293,27 @@ void World::step_traffic() {
   // neighbor laws follow the Ego, which steps later in the tick), so the
   // traffic integrates first and the tick's Frenet refresh happens as one
   // batched projection sweep.
-  std::array<vehicle::Vehicle*, 3> moved;
-  std::size_t n = 0;
-
   {
     vehicle::ActuatorCommand cmd;
     cmd.accel = lead_accel(config_.scenario.lead, time_, lead_->state().speed);
-    cmd.steer_angle =
-        tracking_steer(road, lead_->state(), lane0_center_, wheelbase);
+    cmd.steer_angle = tracking_steer(road, lead_->state(), lane0_center_,
+                                     wheelbase, lead_->frenet_segment());
     lead_->integrate(cmd, dt);
-    moved[n++] = lead_.get();
+    pend.add(lead_.get());
   }
-  if (trailing_) {
+  if (has_trailing_) {
     const double gap =
         vehicle::bumper_gap(trailing_->state(), trailing_->params(),
                             ego_->state(), ego_->params());
     vehicle::ActuatorCommand cmd;
     cmd.accel =
         trailing_accel(gap, trailing_->state().speed, ego_->state().speed);
-    cmd.steer_angle =
-        tracking_steer(road, trailing_->state(), lane0_center_, wheelbase);
+    cmd.steer_angle = tracking_steer(road, trailing_->state(), lane0_center_,
+                                     wheelbase, trailing_->frenet_segment());
     trailing_->integrate(cmd, dt);
-    moved[n++] = trailing_.get();
+    pend.add(trailing_.get());
   }
-  if (neighbor_) {
+  if (has_neighbor_) {
     // The neighbor moves with the flow around the Ego (platooning traffic),
     // holding its initial longitudinal offset — so the left lane stays
     // occupied when a steering attack pushes the Ego into it.
@@ -226,12 +324,11 @@ void World::step_traffic() {
         0.6 * (ego_->state().speed - neighbor_->state().speed) +
             0.05 * (desired_s - neighbor_->state().s),
         -4.0, 2.0);
-    cmd.steer_angle =
-        tracking_steer(road, neighbor_->state(), lane1_center_, wheelbase);
+    cmd.steer_angle = tracking_steer(road, neighbor_->state(), lane1_center_,
+                                     wheelbase, neighbor_->frenet_segment());
     neighbor_->integrate(cmd, dt);
-    moved[n++] = neighbor_.get();
+    pend.add(neighbor_.get());
   }
-  project_vehicles({moved.data(), n});
 }
 
 void World::publish_sensors(double road_curvature, double road_heading) {
@@ -268,20 +365,10 @@ void World::publish_sensors(double road_curvature, double road_heading) {
   msg_bus_.publish(cs);
 }
 
-bool World::step() {
-  if (finished_) return false;
+void World::mid_tick(PendingProjections& pend) {
+  publish_sensors(tick_curvature_, tick_heading_);
 
-  // Road queries at the Ego's (pre-step) arc length, looked up once per
-  // tick and shared by the camera model and the driver observation below
-  // (each one is a polyline segment search).
-  const double ego_s = ego_->state().s;
-  const double road_curvature = road_->curvature_at(ego_s);
-  const double road_heading = road_->heading_at(ego_s);
-
-  step_traffic();
-  publish_sensors(road_curvature, road_heading);
-
-  if (attack_engine_) attack_engine_->step(time_, config_.dt);
+  if (config_.attack_enabled) attack_engine_->step(time_, config_.dt);
 
   controls_->step(step_index_, config_.dt);
 
@@ -292,13 +379,13 @@ bool World::step() {
   obs.accel_cmd = gateway_accel_cmd_;
   obs.steer_cmd = gateway_steer_cmd_;
   obs.nominal_steer =
-      std::atan(config_.ego_params.wheelbase * road_curvature);
+      std::atan(config_.ego_params.wheelbase * tick_curvature_);
   obs.speed = ego_->state().speed;
   obs.cruise_speed = config_.scenario.cruise_speed;
   obs.center_offset = ego_->state().d - lane0_center_;
   obs.heading_error =
-      math::wrap_angle(road_heading - ego_->state().pose.heading);
-  obs.road_curvature = road_curvature;
+      math::wrap_angle(tick_heading_ - ego_->state().pose.heading);
+  obs.road_curvature = tick_curvature_;
   if (lead_) {
     const double gap = vehicle::bumper_gap(ego_->state(), ego_->params(),
                                            lead_->state(), lead_->params());
@@ -313,7 +400,7 @@ bool World::step() {
 
   if (driver_->engaged() && !driver_was_engaged_) {
     driver_was_engaged_ = true;
-    if (attack_engine_) attack_engine_->notify_driver_engaged(time_);
+    if (config_.attack_enabled) attack_engine_->notify_driver_engaged(time_);
     controls_->set_engaged(false);
   }
 
@@ -332,9 +419,10 @@ bool World::step() {
   if (driver_cmd.has_value()) ego_cmd = *driver_cmd;
   ego_cmd.steer_angle += steer_disturbance_;
   ego_->integrate(ego_cmd, config_.dt);
-  vehicle::Vehicle* const ego_batch[] = {ego_.get()};
-  project_vehicles(ego_batch);
+  pend.add(ego_.get());
+}
 
+bool World::end_tick() {
   // Safety monitoring on the post-step state.
   MonitorInputs mi;
   mi.time = time_;
@@ -344,11 +432,11 @@ bool World::step() {
     mi.lead = lead_->state();
     mi.lead_params = &lead_->params();
   }
-  if (trailing_) {
+  if (has_trailing_) {
     mi.trailing = trailing_->state();
     mi.trailing_params = &trailing_->params();
   }
-  if (neighbor_) {
+  if (has_neighbor_) {
     mi.neighbor = neighbor_->state();
     mi.neighbor_params = &neighbor_->params();
   }
@@ -365,6 +453,16 @@ bool World::step() {
   ++step_index_;
   if (terminal_accident || time_ >= config_.duration) finished_ = true;
   return !finished_;
+}
+
+bool World::step() {
+  if (finished_) return false;
+  PendingProjections pend;
+  begin_tick(pend);
+  project_pending(pend);
+  mid_tick(pend);
+  project_pending(pend);
+  return end_tick();
 }
 
 void World::record(Trace* trace, const vehicle::ActuatorCommand& cmd) {
@@ -385,13 +483,20 @@ void World::record(Trace* trace, const vehicle::ActuatorCommand& cmd) {
                        : -1.0;
   row.accel_cmd = cmd.accel;
   row.steer_cmd = cmd.steer_angle;
-  row.attack_active = attack_engine_ && attack_engine_->stats().active_now;
+  row.attack_active =
+      config_.attack_enabled && attack_engine_->stats().active_now;
   row.alert_active = controls_->alerts().any_active();
   row.driver_engaged = driver_->engaged();
   trace->add(row);
 }
 
 SimulationSummary World::run(Trace* trace) {
+  if (ran_) {
+    throw std::logic_error(
+        "World::run: this world already ran; call reset() to re-arm it "
+        "before running again");
+  }
+  ran_ = true;
   if (trace != nullptr)
     trace->reserve(static_cast<std::size_t>(config_.duration / config_.dt) + 1);
   while (true) {
@@ -431,7 +536,7 @@ SimulationSummary World::summarize() const {
   s.lane_invasion_rate =
       time_ > 0.0 ? static_cast<double>(s.lane_invasions) / time_ : 0.0;
 
-  if (attack_engine_) {
+  if (config_.attack_enabled) {
     const auto stats = attack_engine_->stats();
     s.attack_activated = stats.first_activation >= 0.0;
     s.attack_start = stats.first_activation;

@@ -5,6 +5,8 @@
 /// physics + OpenPilot-substitute ADAS + driver reaction simulator +
 /// attack/fault-injection engine, stepped at 100 Hz for 50 s.
 
+#include <array>
+#include <cstddef>
 #include <memory>
 #include <optional>
 #include <span>
@@ -100,8 +102,11 @@ struct SimulationSummary {
   std::uint64_t panda_frames_blocked = 0;  ///< only when panda_enforced
 };
 
-/// The world. Construct, then run() once. One world = one simulation;
-/// campaigns create many worlds (cheap: everything is in-process).
+/// The world. Lifecycle: construct, run() once, then reset() to re-arm the
+/// same instance for the next simulation — a reset World is bit-identical
+/// to a freshly constructed one, but performs zero heap allocations (the
+/// campaign arenas keep one World per worker resident across thousands of
+/// runs). A second run() without an intervening reset() throws.
 class World {
  public:
   explicit World(WorldConfig config);
@@ -110,12 +115,50 @@ class World {
   World(const World&) = delete;
   World& operator=(const World&) = delete;
 
+  /// Re-initialize in place for a new simulation under @p config, ending
+  /// in exactly the state a freshly constructed World(config) would have:
+  /// RNG streams re-forked from config.seed, every subsystem re-armed.
+  /// Bus wiring (subscriptions, taps, interceptors, the CAN gateway)
+  /// persists across reset — which is why the eavesdropping surface
+  /// survives it — and nothing allocates in steady state. @p config may
+  /// carry a different shared road; the shared CAN database, however, must
+  /// be the instance the World was constructed against (or null to keep
+  /// it): the codec handles and the attacker's recon are wired to it, so a
+  /// different database throws std::invalid_argument.
+  void reset(const WorldConfig& config);
+
   /// Run to completion (or first accident). Pass a trace to record steps.
+  /// Throws std::logic_error on a second run() without reset().
   SimulationSummary run(Trace* trace = nullptr);
 
   /// Advance a single step; returns false when the simulation is over.
   /// (Exposed for incremental inspection in tests/examples.)
   bool step();
+
+  /// True once the simulation reached its end (terminal accident or
+  /// configured duration).
+  bool finished() const noexcept { return finished_; }
+
+  /// One tick's batched projection workload: the vehicles whose
+  /// integrate() half-step is waiting for a Frenet refresh, with their
+  /// gathered query points and hints. World::step() resolves it against
+  /// its own road; WorldBatch gathers the pending spans of K worlds into
+  /// one shared Polyline::project_many sweep per phase instead.
+  struct PendingProjections {
+    static constexpr std::size_t kMaxVehicles = 4;
+    std::array<vehicle::Vehicle*, kMaxVehicles> vehicles{};
+    std::array<geom::Vec2, kMaxVehicles> points{};
+    std::array<double, kMaxVehicles> hints{};
+    std::array<geom::Polyline::Projection, kMaxVehicles> projections{};
+    std::size_t count = 0;
+
+    void add(vehicle::Vehicle* v) noexcept {
+      vehicles[count] = v;
+      points[count] = v->state().pose.position;
+      hints[count] = v->frenet_hint();
+      ++count;
+    }
+  };
 
   /// --- state access (valid between construction and end of run) ---
   double time() const noexcept { return time_; }
@@ -124,7 +167,10 @@ class World {
   const SafetyMonitor& monitor() const noexcept { return *monitor_; }
   const adas::Controls& controls() const noexcept { return *controls_; }
   const attack::AttackEngine* attack_engine() const noexcept {
-    return attack_engine_.get();
+    // The engine object is always resident (shape-invariant construction,
+    // so reset() never allocates), but it is only part of the simulation
+    // when the config enables it — observers see null otherwise.
+    return config_.attack_enabled ? attack_engine_.get() : nullptr;
   }
   const driver::DriverModel& driver_model() const noexcept { return *driver_; }
 
@@ -142,16 +188,34 @@ class World {
   const can::Database& dbc() const noexcept { return *db_; }
 
  private:
-  void step_traffic();
+  friend class WorldBatch;
+
   void publish_sensors(double road_curvature, double road_heading);
-  vehicle::ActuatorCommand receive_actuator_commands();
   void record(Trace* trace, const vehicle::ActuatorCommand& cmd);
 
-  /// Complete the integrate() half-steps of @p vehicles: project all their
-  /// poses onto the road reference in one batched SoA sweep and write the
-  /// Frenet results back. Called once per tick for the traffic batch and
-  /// once for the Ego (whose command is only known mid-tick).
-  void project_vehicles(std::span<vehicle::Vehicle* const> vehicles);
+  /// step() decomposed into phases so WorldBatch can interleave K worlds
+  /// and fuse their projection sweeps. Contract: begin_tick -> resolve
+  /// pend -> mid_tick -> resolve pend -> end_tick, with end_tick returning
+  /// step()'s "still running" result.
+  void begin_tick(PendingProjections& pend);
+  void mid_tick(PendingProjections& pend);
+  bool end_tick();
+
+  /// Resolve @p pend against this world's own road (the single-world
+  /// path); WorldBatch substitutes a cross-world fused sweep.
+  void project_pending(PendingProjections& pend);
+
+  /// Write resolved projections back to their vehicles and empty @p pend.
+  static void apply_pending(PendingProjections& pend) noexcept;
+
+  /// Shared tail of construction and reset(): re-derive every piece of
+  /// simulation state from config_ alone, allocation-free. Fresh and reset
+  /// worlds are bit-identical because both end in this exact code path.
+  void reset_in_place();
+
+  /// The attack config as the engine consumes it (cruise speed synced to
+  /// the scenario).
+  attack::AttackConfig active_attack_config() const;
 
   WorldConfig config_;
   std::shared_ptr<const road::Road> road_;  ///< shared or privately owned
@@ -176,6 +240,13 @@ class World {
   std::unique_ptr<SafetyMonitor> monitor_;
   std::unique_ptr<can::CanParser> gateway_parser_;
 
+  // All four vehicles and the attack engine are always constructed (the
+  // shape-invariant layout reset() relies on); these flags say which ones
+  // the current scenario actually simulates.
+  bool has_trailing_ = false;
+  bool has_neighbor_ = false;
+  std::uint64_t panda_attach_id_ = 0;  ///< interceptor id while panda_ lives
+
   // Latest decoded actuator commands at the "car gateway".
   double gateway_accel_cmd_ = 0.0;
   double gateway_steer_cmd_ = 0.0;
@@ -193,9 +264,16 @@ class World {
   util::Rng env_rng_{0};
   double steer_disturbance_ = 0.0;
 
+  // Road queries hoisted in begin_tick at the Ego's pre-step arc length,
+  // consumed by mid_tick (they span the projection barrier between the
+  // two phases).
+  double tick_curvature_ = 0.0;
+  double tick_heading_ = 0.0;
+
   double time_ = 0.0;
   std::uint64_t step_index_ = 0;
   bool finished_ = false;
+  bool ran_ = false;  ///< run() consumed; reset() re-arms
   bool driver_was_engaged_ = false;
   std::uint64_t last_alert_events_ = 0;
   bool alert_seen_before_hazard_ = false;

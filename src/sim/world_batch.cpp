@@ -1,0 +1,85 @@
+#include "sim/world_batch.hpp"
+
+#include <stdexcept>
+
+namespace scaa::sim {
+
+void WorldBatch::add(World* world) {
+  if (world == nullptr)
+    throw std::invalid_argument("WorldBatch::add: null world");
+  const road::Road* road = &world->road();
+  if (road_ == nullptr) {
+    road_ = road;
+  } else if (road_ != road) {
+    throw std::invalid_argument(
+        "WorldBatch::add: all worlds in a batch must share one road "
+        "instance (the fused sweep projects against a single polyline)");
+  }
+  worlds_.push_back(world);
+  pending_.emplace_back();
+  const std::size_t cap =
+      worlds_.size() * World::PendingProjections::kMaxVehicles;
+  points_.reserve(cap);
+  hints_.reserve(cap);
+  projections_.reserve(cap);
+}
+
+void WorldBatch::clear() noexcept {
+  worlds_.clear();
+  pending_.clear();
+  road_ = nullptr;
+}
+
+bool WorldBatch::all_finished() const noexcept {
+  for (const World* w : worlds_)
+    if (!w->finished()) return false;
+  return true;
+}
+
+void WorldBatch::flush() {
+  points_.clear();
+  hints_.clear();
+  for (std::size_t i = 0; i < worlds_.size(); ++i) {
+    const World::PendingProjections& pend = pending_[i];
+    for (std::size_t j = 0; j < pend.count; ++j) {
+      points_.push_back(pend.points[j]);
+      hints_.push_back(pend.hints[j]);
+    }
+  }
+  if (points_.empty()) return;
+  projections_.resize(points_.size());
+  road_->project_many({points_.data(), points_.size()},
+                      {hints_.data(), hints_.size()},
+                      {projections_.data(), projections_.size()});
+  std::size_t k = 0;
+  for (std::size_t i = 0; i < worlds_.size(); ++i) {
+    World::PendingProjections& pend = pending_[i];
+    for (std::size_t j = 0; j < pend.count; ++j)
+      pend.projections[j] = projections_[k++];
+    World::apply_pending(pend);
+  }
+}
+
+std::size_t WorldBatch::step() {
+  // Phase interleave: every unfinished world queues its traffic sweep,
+  // one fused projection resolves them all; same again for the Ego sweep;
+  // then the monitors run. finished() is only updated by end_tick, so the
+  // participation set is stable across the three phases of a tick.
+  for (std::size_t i = 0; i < worlds_.size(); ++i)
+    if (!worlds_[i]->finished()) worlds_[i]->begin_tick(pending_[i]);
+  flush();
+  for (std::size_t i = 0; i < worlds_.size(); ++i)
+    if (!worlds_[i]->finished()) worlds_[i]->mid_tick(pending_[i]);
+  flush();
+  std::size_t running = 0;
+  for (std::size_t i = 0; i < worlds_.size(); ++i)
+    if (!worlds_[i]->finished() && worlds_[i]->end_tick()) ++running;
+  return running;
+}
+
+void WorldBatch::run_all() {
+  while (step() > 0) {
+  }
+}
+
+}  // namespace scaa::sim

@@ -1,0 +1,59 @@
+#pragma once
+
+/// @file world_batch.hpp
+/// Lockstep stepping of K resident Worlds with fused projection sweeps.
+///
+/// World::step() decomposes into begin_tick -> project -> mid_tick ->
+/// project -> end_tick. A WorldBatch interleaves those phases across all
+/// its member worlds, gathering every pending Frenet query of a phase into
+/// shared SoA spans so each tick issues ONE Polyline::project_many call per
+/// phase for the whole batch (up to 4*K points) instead of 2*K small ones.
+/// Campaign arenas run one batch per worker; per-world results are
+/// bit-identical to stepping each world alone, because the fused sweep
+/// computes exactly the same projections in the same order per world.
+
+#include <cstddef>
+#include <vector>
+
+#include "sim/world.hpp"
+
+namespace scaa::sim {
+
+class WorldBatch {
+ public:
+  /// Enroll @p world (not owned; must outlive the batch or be removed via
+  /// clear()). All members must share one road instance — the fused sweep
+  /// projects against a single polyline. Throws std::invalid_argument on a
+  /// road mismatch.
+  void add(World* world);
+
+  /// Drop all members (capacity retained for the next batch).
+  void clear() noexcept;
+
+  std::size_t size() const noexcept { return worlds_.size(); }
+
+  /// Advance every unfinished member by one tick, in lockstep.
+  /// Returns the number of worlds still running afterwards.
+  std::size_t step();
+
+  /// Step until every member is finished.
+  void run_all();
+
+  bool all_finished() const noexcept;
+
+ private:
+  /// Resolve the queued projections of every unfinished world in one
+  /// fused sweep and write them back.
+  void flush();
+
+  const road::Road* road_ = nullptr;
+  std::vector<World*> worlds_;
+  std::vector<World::PendingProjections> pending_;
+  // Gather/scatter scratch, reused across ticks (allocation-free in
+  // steady state).
+  std::vector<geom::Vec2> points_;
+  std::vector<double> hints_;
+  std::vector<geom::Polyline::Projection> projections_;
+};
+
+}  // namespace scaa::sim

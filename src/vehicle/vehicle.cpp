@@ -11,7 +11,22 @@ Vehicle::Vehicle(const road::Road& road, const VehicleParams& params,
       longitudinal_(params),
       lateral_(params),
       frenet_(road.reference()) {
+  reset(road, params, s0, d0, speed);
+}
+
+void Vehicle::reset(const road::Road& road, const VehicleParams& params,
+                    double s0, double d0, double speed) {
+  // Exactly the constructor's initialization, expressed as assignments so
+  // a resident Vehicle can be re-placed without reallocating. The dynamics
+  // models and the Frenet frame are plain value types; state_ is rebuilt
+  // from scratch so no field of a previous simulation leaks through.
+  road_ = &road;
+  params_ = params;
+  longitudinal_ = LongitudinalDynamics(params);
+  lateral_ = LateralDynamics(params);
+  frenet_ = geom::FrenetFrame(road.reference());
   longitudinal_.reset(speed);
+  state_ = VehicleState{};
   state_.pose.position = frenet_.to_world({s0, d0});
   state_.pose.heading = road.heading_at(s0);
   state_.speed = speed;

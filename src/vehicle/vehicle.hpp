@@ -38,6 +38,12 @@ class Vehicle {
   Vehicle(const road::Road& road, const VehicleParams& params, double s0,
           double d0, double speed);
 
+  /// Re-place the vehicle exactly as the constructor does, reusing the
+  /// existing storage: dynamics, Frenet hint, and state end up bit-identical
+  /// to a freshly constructed Vehicle. No allocation.
+  void reset(const road::Road& road, const VehicleParams& params, double s0,
+             double d0, double speed);
+
   /// Advance one simulation step of @p dt seconds under @p cmd
   /// (integrate() followed by a self-contained Frenet refresh).
   void step(const ActuatorCommand& cmd, double dt);
@@ -51,6 +57,11 @@ class Vehicle {
   /// Frenet-search hint for this vehicle: arc length of its last
   /// projection (negative before the first one).
   double frenet_hint() const noexcept { return frenet_.hint(); }
+
+  /// Segment index of this vehicle's last projection
+  /// (geom::Polyline::kNoSegmentHint before the first one). Seeds hinted
+  /// road heading/curvature queries without a fresh segment search.
+  std::size_t frenet_segment() const noexcept { return frenet_.hint_segment(); }
 
   /// Complete an integrate() step with an externally computed projection of
   /// state().pose.position; equivalent to the refresh step() performs.

@@ -30,7 +30,7 @@ TIMING_COLUMNS = {"wall_s", "sims_per_s", "points_per_s"}
 
 # Rows measuring an isolated kernel rather than a campaign slice, annotated
 # so a reader of the artifact does not misread ops/s as simulations/s.
-KERNEL_ROWS = {"Polyline::project", "PubSubBus::publish"}
+KERNEL_ROWS = {"Polyline::project", "PubSubBus::publish", "World::reset"}
 
 
 def load(path):
