@@ -10,16 +10,25 @@
 #include <ostream>
 #include <vector>
 
+#include <charconv>
+#include <filesystem>
+#include <thread>
+
+#include <unistd.h>
+
 #include "cli/args.hpp"
 #include "exp/campaign.hpp"
 #include "exp/checkpoint.hpp"
 #include "exp/param_space.hpp"
+#include "exp/shard.hpp"
 #include "exp/tables.hpp"
 #include "geom/polyline.hpp"
 #include "msg/bus.hpp"
 #include "road/builder.hpp"
 #include "sim/world.hpp"
+#include "util/proc.hpp"
 #include "util/rng.hpp"
+#include "util/serial.hpp"
 #include "util/stopwatch.hpp"
 
 namespace scaa::cli {
@@ -75,7 +84,91 @@ exp::ParamSpaceConfig fig8_config(const CampaignOptions& options) {
   return cfg;
 }
 
-/// Filesystem-safe slice token: "Random-ST+DUR" -> "random-st-dur".
+/// Open the checkpoint for one slice (Checkpoint selects the mode:
+/// exp::CampaignCheckpoint for streaming aggregates, exp::ResultsCheckpoint
+/// for table5's per-item pairing); null when checkpointing is off. Notes
+/// restored progress so a resumed run says where it picks up from.
+template <class Checkpoint>
+std::unique_ptr<Checkpoint> open_checkpoint(
+    const CampaignOptions& options, const std::string& slice,
+    const std::vector<exp::CampaignItem>& grid, std::ostream* progress) {
+  if (options.checkpoint.empty()) return nullptr;
+  auto ckpt = std::make_unique<Checkpoint>(
+      slice_checkpoint_file(options.checkpoint, slice,
+                            exp::grid_fingerprint(grid)),
+      grid, options.resume);
+  if (ckpt->completed_items() > 0)
+    note(progress, "[" + slice + "] resuming: " +
+                       std::to_string(ckpt->completed_items()) + "/" +
+                       std::to_string(grid.size()) +
+                       " sims restored from checkpoint");
+  return ckpt;
+}
+
+/// One Table IV strategy with its grid built: the unit table4_report,
+/// bench_report, the shard worker, the coordinator, and merge all share,
+/// so every mode runs (and fingerprints) the identical experiment.
+struct Table4Slice {
+  Table4Strategy row;
+  std::string name;  ///< slice name, e.g. "table4 Context-Aware"
+  std::vector<exp::CampaignItem> grid;
+  std::uint64_t fingerprint = 0;
+};
+
+/// Build every Table IV slice for @p tag and — when checkpointing — reject
+/// slice-file collisions upfront, before any file is opened.
+std::vector<Table4Slice> build_table4_slices(const CampaignOptions& options,
+                                             const exp::CampaignConfig& cc,
+                                             const std::string& tag) {
+  std::vector<Table4Slice> slices;
+  std::vector<std::pair<std::string, std::uint64_t>> names;
+  for (const Table4Strategy& row : table4_strategies()) {
+    Table4Slice slice;
+    slice.row = row;
+    slice.name = tag + " " + to_string(row.kind);
+    slice.grid =
+        exp::make_grid(row.kind, row.strategic, /*driver_enabled=*/true, cc,
+                       options.reps * row.rep_multiplier);
+    slice.fingerprint = exp::grid_fingerprint(slice.grid);
+    names.emplace_back(slice.name, slice.fingerprint);
+    slices.push_back(std::move(slice));
+  }
+  if (!options.checkpoint.empty())
+    reject_slice_file_collisions(options.checkpoint, names);
+  return slices;
+}
+
+/// Run one Table IV strategy through the streaming runner. The single
+/// grid-construction + run path shared by table4_report and bench_report,
+/// so the two can never drift apart (bench's aggregate columns double as
+/// a seed-for-seed identity check against table4).
+struct StrategyRun {
+  exp::Aggregate agg;
+  double wall_s = 0.0;
+  std::size_t fresh_sims = 0;  ///< simulations actually run (not restored)
+};
+
+StrategyRun run_table4_slice(const Table4Slice& slice,
+                             const CampaignOptions& options,
+                             const exp::CampaignConfig& cc,
+                             std::ostream* progress) {
+  const auto checkpoint = open_checkpoint<exp::CampaignCheckpoint>(
+      options, slice.name, slice.grid, progress);
+  const auto start = std::chrono::steady_clock::now();
+  // Streaming runner: O(threads) live memory instead of one result per
+  // simulation, with per-chunk progress while the grid drains.
+  StrategyRun run;
+  run.fresh_sims =
+      slice.grid.size() - (checkpoint ? checkpoint->completed_items() : 0);
+  run.agg = exp::run_campaign_streaming(slice.grid, cc,
+                                        decile_progress(progress, slice.name),
+                                        checkpoint.get());
+  run.wall_s = util::seconds_since(start);
+  return run;
+}
+
+}  // namespace
+
 std::string slice_slug(const std::string& name) {
   std::string slug;
   slug.reserve(name.size());
@@ -92,68 +185,34 @@ std::string slice_slug(const std::string& name) {
   return slug;
 }
 
-/// Per-slice checkpoint file: multi-campaign subcommands (table4 runs five
-/// strategies, table5 four slices) keep one file per grid under the user's
-/// --checkpoint stem, because each grid has its own fingerprint.
-std::string checkpoint_path(const CampaignOptions& options,
-                            const std::string& slice) {
-  return options.checkpoint + "." + slice_slug(slice);
+std::string slice_checkpoint_file(const std::string& stem,
+                                  const std::string& slice,
+                                  std::uint64_t fingerprint,
+                                  std::size_t shard,
+                                  std::size_t shard_count) {
+  return stem + "." + slice_slug(slice) + "-" +
+         exp::short_fingerprint(fingerprint) +
+         exp::shard_suffix(shard, shard_count);
 }
 
-/// Open the checkpoint for one slice (Checkpoint selects the mode:
-/// exp::CampaignCheckpoint for streaming aggregates, exp::ResultsCheckpoint
-/// for table5's per-item pairing); null when checkpointing is off. Notes
-/// restored progress so a resumed run says where it picks up from.
-template <class Checkpoint>
-std::unique_ptr<Checkpoint> open_checkpoint(
-    const CampaignOptions& options, const std::string& slice,
-    const std::vector<exp::CampaignItem>& grid, std::ostream* progress) {
-  if (options.checkpoint.empty()) return nullptr;
-  auto ckpt = std::make_unique<Checkpoint>(checkpoint_path(options, slice),
-                                           grid, options.resume);
-  if (ckpt->completed_items() > 0)
-    note(progress, "[" + slice + "] resuming: " +
-                       std::to_string(ckpt->completed_items()) + "/" +
-                       std::to_string(grid.size()) +
-                       " sims restored from checkpoint");
-  return ckpt;
+void reject_slice_file_collisions(
+    const std::string& stem,
+    const std::vector<std::pair<std::string, std::uint64_t>>& slices) {
+  // The shard suffix cannot disambiguate two slices that collide unsharded
+  // (every shard index would collide the same way), so checking the
+  // unsuffixed path covers every mode.
+  std::map<std::string, std::string> seen;  // path -> slice name
+  for (const auto& [name, fingerprint] : slices) {
+    const std::string path = slice_checkpoint_file(stem, name, fingerprint);
+    const auto [it, inserted] = seen.emplace(path, name);
+    if (!inserted && it->second != name)
+      throw std::runtime_error(
+          "checkpoint slice collision: '" + it->second + "' and '" + name +
+          "' both map to '" + path +
+          "' (identical slug and grid fingerprint); rename one slice or use "
+          "a different --checkpoint stem");
+  }
 }
-
-/// Run one Table IV strategy through the streaming runner. The single
-/// grid-construction + run path shared by table4_report and bench_report,
-/// so the two can never drift apart (bench's aggregate columns double as
-/// a seed-for-seed identity check against table4).
-struct StrategyRun {
-  exp::Aggregate agg;
-  double wall_s = 0.0;
-  std::size_t fresh_sims = 0;  ///< simulations actually run (not restored)
-};
-
-StrategyRun run_table4_strategy(const Table4Strategy& row,
-                                const CampaignOptions& options,
-                                const exp::CampaignConfig& cc,
-                                std::ostream* progress,
-                                const std::string& tag) {
-  const std::string slice = tag + " " + to_string(row.kind);
-  const auto grid =
-      exp::make_grid(row.kind, row.strategic, /*driver_enabled=*/true, cc,
-                     options.reps * row.rep_multiplier);
-  const auto checkpoint = open_checkpoint<exp::CampaignCheckpoint>(
-      options, slice, grid, progress);
-  const auto start = std::chrono::steady_clock::now();
-  // Streaming runner: O(threads) live memory instead of one result per
-  // simulation, with per-chunk progress while the grid drains.
-  StrategyRun run;
-  run.fresh_sims =
-      grid.size() - (checkpoint ? checkpoint->completed_items() : 0);
-  run.agg = exp::run_campaign_streaming(grid, cc,
-                                        decile_progress(progress, slice),
-                                        checkpoint.get());
-  run.wall_s = util::seconds_since(start);
-  return run;
-}
-
-}  // namespace
 
 exp::CampaignProgressFn decile_progress(std::ostream* out,
                                         const std::string& tag) {
@@ -186,24 +245,261 @@ const std::vector<Table4Strategy>& table4_strategies() {
   return kStrategies;
 }
 
-Report table4_report(const CampaignOptions& options, std::ostream* progress) {
-  const exp::CampaignConfig cc = campaign_config(options);
+namespace {
 
-  Report report("Table IV: attack strategy comparison with an alert driver",
+/// The Table IV report shell + row shape, shared by the in-process path,
+/// the sharded coordinator, and the merge subcommand: all three emit
+/// byte-identical reports because they all go through these two functions
+/// with bit-identical aggregates.
+Report make_table4_report() {
+  return Report("Table IV: attack strategy comparison with an alert driver",
                 {"strategy", "simulations", "sims_with_alerts",
                  "sims_with_hazards", "sims_with_accidents",
                  "hazards_without_alerts", "fcw_activations",
                  "lane_invasion_rate_mean", "tth_mean", "tth_std"});
-  for (const Table4Strategy& row : table4_strategies()) {
-    const auto agg =
-        run_table4_strategy(row, options, cc, progress, "table4").agg;
-    report.add_row({to_string(row.kind), ll(agg.simulations),
-                    ll(agg.sims_with_alerts), ll(agg.sims_with_hazards),
-                    ll(agg.sims_with_accidents), ll(agg.hazards_without_alerts),
-                    ll(agg.fcw_activations), agg.lane_invasion_rate_mean,
-                    agg.tth_mean, agg.tth_std});
-    note(progress, "[table4] " + to_string(row.kind) + " done: " +
+}
+
+void add_table4_row(Report& report, const Table4Strategy& row,
+                    const exp::Aggregate& agg) {
+  report.add_row({to_string(row.kind), ll(agg.simulations),
+                  ll(agg.sims_with_alerts), ll(agg.sims_with_hazards),
+                  ll(agg.sims_with_accidents), ll(agg.hazards_without_alerts),
+                  ll(agg.fcw_activations), agg.lane_invasion_rate_mean,
+                  agg.tth_mean, agg.tth_std});
+}
+
+/// The slice checkpoint files of every shard of @p slice, in shard order —
+/// the coordinator, the manual worker, and merge must agree on these paths
+/// exactly, so there is one place that produces them.
+std::vector<std::string> shard_slice_files(const CampaignOptions& options,
+                                           const Table4Slice& slice,
+                                           std::size_t shard_count) {
+  std::vector<std::string> paths;
+  paths.reserve(shard_count);
+  for (std::size_t s = 0; s < shard_count; ++s)
+    paths.push_back(slice_checkpoint_file(options.checkpoint, slice.name,
+                                          slice.fingerprint, s, shard_count));
+  return paths;
+}
+
+/// Worker side of the coordinator protocol: run this shard's slice of
+/// every strategy into its own checkpoint files, reporting cumulative
+/// completed-simulation counts (restored + fresh, across all strategies)
+/// through @p on_progress after every chunk.
+void run_table4_worker_slices(const std::vector<Table4Slice>& slices,
+                              const CampaignOptions& options,
+                              const exp::CampaignConfig& cc,
+                              std::size_t shard, std::size_t shard_count,
+                              const std::function<void(std::size_t)>& on_progress) {
+  std::size_t base = 0;  // sims completed in earlier strategies
+  for (const Table4Slice& slice : slices) {
+    const exp::ShardPlan plan(slice.grid.size(), shard_count);
+    const exp::ChunkRange range = plan.chunks_for(shard);
+    exp::CampaignCheckpoint checkpoint(
+        slice_checkpoint_file(options.checkpoint, slice.name,
+                              slice.fingerprint, shard, shard_count),
+        slice.grid, options.resume);
+    exp::run_campaign_streaming(
+        slice.grid, cc,
+        [&](const exp::CampaignProgress& p) { on_progress(base + p.completed); },
+        &checkpoint, &range);
+    base += plan.items_in(shard);
+    // A slice that was fully restored (or empty) never fires the progress
+    // callback; report the strategy boundary explicitly so the coordinator
+    // display still reaches 100%.
+    on_progress(base);
+  }
+}
+
+/// Coordinator: fork options.shards workers, multiplex their pipe progress
+/// into one decile display, reap, and merge the slice files. The merged
+/// aggregates are bit-identical to one in-process run (see exp/shard.hpp).
+struct ShardedRun {
+  std::vector<exp::Aggregate> aggs;  ///< one per strategy, presentation order
+  double wall_s = 0.0;
+  std::size_t simulations = 0;
+};
+
+ShardedRun run_table4_sharded(const CampaignOptions& options,
+                              std::ostream* progress) {
+  const exp::CampaignConfig cc = campaign_config(options);
+  const std::vector<Table4Slice> slices =
+      build_table4_slices(options, cc, "table4");
+  const std::size_t shard_count = static_cast<std::size_t>(options.shards);
+
+  std::size_t total_items = 0;
+  for (const Table4Slice& slice : slices) total_items += slice.grid.size();
+
+  // Each worker gets an equal share of the machine unless --threads pins a
+  // per-worker count explicitly.
+  exp::CampaignConfig worker_cc = cc;
+  if (worker_cc.threads == 0) {
+    const std::size_t hw = std::thread::hardware_concurrency();
+    worker_cc.threads = std::max<std::size_t>(1, hw / shard_count);
+  }
+
+  const auto start = std::chrono::steady_clock::now();
+  if (progress) progress->flush();  // nothing buffered crosses the fork
+
+  std::vector<util::ForkedWorker> workers;
+  workers.reserve(shard_count);
+  for (std::size_t s = 0; s < shard_count; ++s) {
+    workers.push_back(util::fork_worker([&, s](int fd) {
+      try {
+        run_table4_worker_slices(slices, options, worker_cc, s, shard_count,
+                                 [fd](std::size_t completed) {
+                                   util::write_line(
+                                       fd, "P " + std::to_string(completed));
+                                 });
+        return 0;
+      } catch (const std::exception& e) {
+        // Straight to fd 2: the child must not touch the parent's buffered
+        // streams (a test harness ostringstream would get corrupted).
+        util::write_line(2, "[table4 shard " + std::to_string(s + 1) + "/" +
+                                std::to_string(shard_count) + "] " + e.what());
+        return 1;
+      }
+    }));
+  }
+
+  // One decile display over the whole fleet: workers send absolute
+  // cumulative counts, so summing the latest line per worker is exact.
+  std::vector<int> fds;
+  for (const util::ForkedWorker& w : workers) fds.push_back(w.progress.get());
+  std::vector<std::size_t> latest(workers.size(), 0);
+  int last_decile = -1;
+  util::LineMux mux(fds);
+  mux.run([&](std::size_t worker, std::string_view line) {
+    if (line.size() < 3 || line.substr(0, 2) != "P ") return;
+    std::size_t completed = 0;
+    const auto* end = line.data() + line.size();
+    if (std::from_chars(line.data() + 2, end, completed).ec != std::errc())
+      return;
+    latest[worker] = completed;
+    std::size_t sum = 0;
+    for (const std::size_t c : latest) sum += c;
+    if (total_items == 0 || sum == 0) return;
+    const int decile = static_cast<int>(10 * sum / total_items);
+    if (decile <= last_decile) return;
+    last_decile = decile;
+    note(progress, "[table4 " + std::to_string(shard_count) + " shards] " +
+                       std::to_string(sum) + "/" + std::to_string(total_items) +
+                       " sims");
+  });
+
+  std::string failures;
+  for (std::size_t s = 0; s < workers.size(); ++s) {
+    const util::ExitStatus status = util::wait_child(workers[s].pid);
+    if (status.ok()) continue;
+    if (!failures.empty()) failures += "; ";
+    failures += "shard " + std::to_string(s + 1) + "/" +
+                std::to_string(shard_count) + " " + status.describe();
+  }
+  if (!failures.empty())
+    throw std::runtime_error(
+        failures +
+        " — completed chunks are checkpointed; rerun the same command with "
+        "--resume to finish, then the report (or `merge`) will be "
+        "byte-identical to an uninterrupted run");
+
+  ShardedRun run;
+  for (const Table4Slice& slice : slices) {
+    run.aggs.push_back(exp::merge_slice_files(
+        slice.grid, shard_slice_files(options, slice, shard_count)));
+    run.simulations += slice.grid.size();
+  }
+  run.wall_s = util::seconds_since(start);
+  return run;
+}
+
+/// Manual worker (--shard i/N): run this slice in-process and summarize
+/// what it covered; the real Table IV report comes from `merge` once the
+/// whole fleet has finished.
+Report table4_shard_worker_report(const CampaignOptions& options,
+                                  std::ostream* progress) {
+  const exp::CampaignConfig cc = campaign_config(options);
+  const std::vector<Table4Slice> slices =
+      build_table4_slices(options, cc, "table4");
+  const auto shard = static_cast<std::size_t>(options.shard_index);
+  const auto shard_count = static_cast<std::size_t>(options.shard_count);
+  const std::string tag =
+      std::to_string(shard + 1) + "/" + std::to_string(shard_count);
+
+  Report report("Table IV shard " + tag + ": slice summary (run `merge` "
+                "after all shards finish)",
+                {"strategy", "shard", "slice_sims", "slice_chunks",
+                 "checkpoint_file"});
+  std::size_t slice_total = 0;
+  for (const Table4Slice& slice : slices)
+    slice_total +=
+        exp::ShardPlan(slice.grid.size(), shard_count).items_in(shard);
+
+  // One decile display over this worker's whole slice set, driven by the
+  // same cumulative counts a coordinator-forked worker would pipe out.
+  const exp::CampaignProgressFn display =
+      decile_progress(progress, "table4 shard " + tag);
+  run_table4_worker_slices(
+      slices, options, cc, shard, shard_count,
+      [&](std::size_t completed) {
+        if (display) display(exp::CampaignProgress{completed, slice_total});
+      });
+  for (const Table4Slice& slice : slices) {
+    const exp::ShardPlan plan(slice.grid.size(), shard_count);
+    report.add_row({to_string(slice.row.kind), tag, ll(plan.items_in(shard)),
+                    ll(plan.chunks_for(shard).chunk_count()),
+                    slice_checkpoint_file(options.checkpoint, slice.name,
+                                          slice.fingerprint, shard,
+                                          shard_count)});
+  }
+  note(progress, "[table4 shard " + tag + "] slice complete: " +
+                     std::to_string(slice_total) + " sims checkpointed");
+  return report;
+}
+
+}  // namespace
+
+Report table4_report(const CampaignOptions& options, std::ostream* progress) {
+  if (options.shard_count > 0)
+    return table4_shard_worker_report(options, progress);
+
+  if (options.shards > 1) {
+    const ShardedRun run = run_table4_sharded(options, progress);
+    Report report = make_table4_report();
+    const auto& strategies = table4_strategies();
+    for (std::size_t i = 0; i < strategies.size(); ++i) {
+      add_table4_row(report, strategies[i], run.aggs[i]);
+      note(progress, "[table4] " + to_string(strategies[i].kind) + " done: " +
+                         std::to_string(run.aggs[i].simulations) + " sims");
+    }
+    return report;
+  }
+
+  const exp::CampaignConfig cc = campaign_config(options);
+  Report report = make_table4_report();
+  for (const Table4Slice& slice : build_table4_slices(options, cc, "table4")) {
+    const auto agg = run_table4_slice(slice, options, cc, progress).agg;
+    add_table4_row(report, slice.row, agg);
+    note(progress, "[table4] " + to_string(slice.row.kind) + " done: " +
                        std::to_string(agg.simulations) + " sims");
+  }
+  return report;
+}
+
+Report table4_merge_report(const CampaignOptions& options,
+                           std::ostream* progress) {
+  const exp::CampaignConfig cc = campaign_config(options);
+  const std::vector<Table4Slice> slices =
+      build_table4_slices(options, cc, "table4");
+  const auto shard_count = static_cast<std::size_t>(options.shards);
+
+  Report report = make_table4_report();
+  for (const Table4Slice& slice : slices) {
+    const exp::Aggregate agg = exp::merge_slice_files(
+        slice.grid, shard_slice_files(options, slice, shard_count));
+    add_table4_row(report, slice.row, agg);
+    note(progress, "[merge] " + to_string(slice.row.kind) + ": " +
+                       std::to_string(agg.simulations) + " sims from " +
+                       std::to_string(shard_count) + " slice files");
   }
   return report;
 }
@@ -220,6 +516,19 @@ Report table5_report(const CampaignOptions& options, std::ostream* progress) {
         options, slice, grid, progress);
     return exp::run_campaign(grid, cc, checkpoint.get());
   };
+
+  if (!options.checkpoint.empty()) {
+    std::vector<std::pair<std::string, std::uint64_t>> names;
+    for (const bool strategic : {false, true})
+      for (const bool driver : {true, false}) {
+        const std::string slice = std::string("table5 ") +
+                                  (strategic ? "strategic" : "fixed") +
+                                  (driver ? "-on" : "-off");
+        names.emplace_back(slice, exp::grid_fingerprint(exp::make_grid(
+                                      kind, strategic, driver, cc)));
+      }
+    reject_slice_file_collisions(options.checkpoint, names);
+  }
 
   note(progress, "[table5] fixed values, driver on...");
   const auto fixed_on = run(false, true, "table5 fixed-on");
@@ -356,7 +665,7 @@ void add_project_kernel_row(Report& report, std::ostream* progress) {
   report.add_row(
       {std::string("Polyline::project"), ll(kOps), wall,
        wall > 0.0 ? static_cast<double>(kOps) / wall : 0.0, 0LL, 0LL, 0LL,
-       0LL, 0LL, 0.0, 0.0, 0.0});
+       0LL, 0LL, 0.0, 0.0, 0.0, 0.0});
   note(progress, "[bench] Polyline::project: " + std::to_string(kOps) +
                      " hinted projections in " + std::to_string(wall) +
                      " s");
@@ -395,7 +704,7 @@ void add_bus_kernel_row(Report& report, std::ostream* progress) {
   report.add_row(
       {std::string("PubSubBus::publish"), ll(ops), wall,
        wall > 0.0 ? static_cast<double>(ops) / wall : 0.0, 0LL, 0LL, 0LL,
-       0LL, 0LL, 0.0, 0.0, 0.0});
+       0LL, 0LL, 0.0, 0.0, 0.0, 0.0});
   note(progress, "[bench] PubSubBus::publish: " + std::to_string(ops) +
                      " typed publishes in " + std::to_string(wall) + " s");
 }
@@ -428,9 +737,83 @@ void add_world_reset_kernel_row(Report& report, std::ostream* progress) {
   report.add_row(
       {std::string("World::reset"), ll(kOps), wall,
        wall > 0.0 ? static_cast<double>(kOps) / wall : 0.0, 0LL, 0LL, 0LL,
-       0LL, 0LL, 0.0, 0.0, 0.0});
+       0LL, 0LL, 0.0, 0.0, 0.0, 0.0});
   note(progress, "[bench] World::reset: " + std::to_string(kOps) +
                      " in-place resets in " + std::to_string(wall) + " s");
+}
+
+}  // namespace
+
+namespace {
+
+/// Bit-exact aggregate equality (doubles compared as bit patterns): the
+/// check the shard_scaling rows run against the in-process aggregates, so
+/// every bench run doubles as a sharded-merge determinism gate.
+bool same_aggregate(const exp::Aggregate& a, const exp::Aggregate& b) {
+  return a.simulations == b.simulations &&
+         a.sims_with_alerts == b.sims_with_alerts &&
+         a.sims_with_hazards == b.sims_with_hazards &&
+         a.sims_with_accidents == b.sims_with_accidents &&
+         a.hazards_without_alerts == b.hazards_without_alerts &&
+         a.fcw_activations == b.fcw_activations &&
+         util::double_bits(a.lane_invasion_rate_mean) ==
+             util::double_bits(b.lane_invasion_rate_mean) &&
+         util::double_bits(a.tth_mean) == util::double_bits(b.tth_mean) &&
+         util::double_bits(a.tth_std) == util::double_bits(b.tth_std);
+}
+
+/// The `shard_scaling_<P>` rows of BENCH_table4.json: the full Table IV
+/// campaign dispatched across P={1,2,4,8} forked worker processes, one
+/// thread each (so the rows isolate process scaling from thread scaling),
+/// under throwaway checkpoint stems. sims_per_s is the fleet throughput
+/// and `efficiency` = tput_P / (P * tput_1), the parallel efficiency
+/// relative to the one-worker fleet (timing-class columns: advisory in
+/// bench_diff, never gating). Every merged aggregate is checked bit-exact
+/// against the in-process @p expected aggregates — a bench run that
+/// survives IS the sharded-merge determinism proof.
+void add_shard_scaling_rows(Report& report, const CampaignOptions& options,
+                            const std::vector<exp::Aggregate>& expected,
+                            std::ostream* progress) {
+  namespace fs = std::filesystem;
+  const fs::path dir =
+      fs::temp_directory_path() /
+      ("scaa_shard_scaling." + std::to_string(static_cast<long long>(::getpid())));
+  std::error_code ec;
+  fs::remove_all(dir, ec);
+
+  double tput_1 = 0.0;
+  for (const int workers : {1, 2, 4, 8}) {
+    CampaignOptions o = options;
+    o.checkpoint = (dir / ("p" + std::to_string(workers))).string();
+    o.resume = false;
+    o.shards = workers;
+    o.threads = 1;
+    const ShardedRun run = run_table4_sharded(o, /*progress=*/nullptr);
+    for (std::size_t i = 0; i < run.aggs.size(); ++i) {
+      if (!same_aggregate(run.aggs[i], expected[i]))
+        throw std::runtime_error(
+            "[bench] shard_scaling_" + std::to_string(workers) + ": merged " +
+            to_string(table4_strategies()[i].kind) +
+            " aggregate differs from the in-process run — the sharded merge "
+            "is not bit-identical");
+    }
+    const double tput =
+        run.wall_s > 0.0 ? static_cast<double>(run.simulations) / run.wall_s
+                         : 0.0;
+    if (workers == 1) tput_1 = tput;
+    const double efficiency =
+        (workers == 1 || tput_1 <= 0.0)
+            ? 1.0
+            : tput / (static_cast<double>(workers) * tput_1);
+    report.add_row({"shard_scaling_" + std::to_string(workers),
+                    ll(run.simulations), run.wall_s, tput, 0LL, 0LL, 0LL, 0LL,
+                    0LL, 0.0, 0.0, 0.0, efficiency});
+    note(progress, "[bench] shard_scaling_" + std::to_string(workers) + ": " +
+                       std::to_string(run.simulations) + " sims in " +
+                       std::to_string(run.wall_s) + " s (efficiency " +
+                       std::to_string(efficiency) + ")");
+  }
+  fs::remove_all(dir, ec);
 }
 
 }  // namespace
@@ -447,39 +830,46 @@ Report bench_report(const CampaignOptions& options, std::ostream* progress) {
       "bench: Table IV campaign wall-clock (streaming runner, shared assets)",
       {"strategy", "simulations", "wall_s", "sims_per_s", "sims_with_alerts",
        "sims_with_hazards", "sims_with_accidents", "hazards_without_alerts",
-       "fcw_activations", "lane_invasion_rate_mean", "tth_mean", "tth_std"});
+       "fcw_activations", "lane_invasion_rate_mean", "tth_mean", "tth_std",
+       "efficiency"});
 
   double total_wall = 0.0;
   std::size_t total_sims = 0;
   std::size_t total_fresh = 0;
-  for (const Table4Strategy& row : table4_strategies()) {
+  std::vector<exp::Aggregate> inprocess_aggs;
+  for (const Table4Slice& slice : build_table4_slices(options, cc, "bench")) {
     const auto [agg, wall, fresh] =
-        run_table4_strategy(row, options, cc, progress, "bench");
+        run_table4_slice(slice, options, cc, progress);
     total_wall += wall;
     total_sims += agg.simulations;
     total_fresh += fresh;
+    inprocess_aggs.push_back(agg);
     // sims_per_s counts only freshly computed sims: restored checkpoint
     // chunks cost ~no wall-clock, and a resumed bench must not emit an
     // inflated trajectory point (the aggregate columns still cover the
     // full grid — that is the identity check against table4).
     report.add_row(
-        {to_string(row.kind), ll(agg.simulations), wall,
+        {to_string(slice.row.kind), ll(agg.simulations), wall,
          wall > 0.0 ? static_cast<double>(fresh) / wall : 0.0,
          ll(agg.sims_with_alerts), ll(agg.sims_with_hazards),
          ll(agg.sims_with_accidents), ll(agg.hazards_without_alerts),
          ll(agg.fcw_activations), agg.lane_invasion_rate_mean, agg.tth_mean,
-         agg.tth_std});
-    note(progress, "[bench] " + to_string(row.kind) + ": " +
+         agg.tth_std, 0.0});
+    note(progress, "[bench] " + to_string(slice.row.kind) + ": " +
                        std::to_string(fresh) + " sims in " +
                        std::to_string(wall) + " s");
   }
   report.add_row(
       {std::string("TOTAL"), ll(total_sims), total_wall,
        total_wall > 0.0 ? static_cast<double>(total_fresh) / total_wall : 0.0,
-       0LL, 0LL, 0LL, 0LL, 0LL, 0.0, 0.0, 0.0});
+       0LL, 0LL, 0LL, 0LL, 0LL, 0.0, 0.0, 0.0, 0.0});
   add_project_kernel_row(report, progress);
   add_bus_kernel_row(report, progress);
   add_world_reset_kernel_row(report, progress);
+  // The sharded aggregates are checked bit-exact against the strategy rows
+  // above, so the same bench invocation that records throughput also
+  // proves the coordinator/worker/merge path reproduces the campaign.
+  add_shard_scaling_rows(report, options, inprocess_aggs, progress);
   return report;
 }
 
@@ -546,6 +936,11 @@ const std::vector<CampaignCommand>& campaign_commands() {
        "end-to-end campaign wall-clock benchmark (--campaign "
        "table4|table5|fig8 emits BENCH_<campaign>.json rows)",
        &bench_report},
+      {"merge", "Table IV",
+       "fold per-shard table4 checkpoint slices (--shards/--shard runs) "
+       "into the exact Table IV report, byte-identical to a single-process "
+       "run",
+       &table4_merge_report},
   };
   return kCommands;
 }
@@ -555,6 +950,28 @@ const CampaignCommand* find_campaign_command(const std::string& name) {
     if (cmd.name == name) return &cmd;
   return nullptr;
 }
+
+namespace {
+
+/// Parse a 1-based "--shard i/N" spec into a 0-based index + count.
+bool parse_shard_spec(const std::string& spec, int& index, int& count) {
+  const std::size_t slash = spec.find('/');
+  if (slash == std::string::npos || slash == 0 || slash + 1 >= spec.size())
+    return false;
+  int i = 0, n = 0;
+  const char* begin = spec.data();
+  auto r1 = std::from_chars(begin, begin + slash, i);
+  auto r2 = std::from_chars(begin + slash + 1, begin + spec.size(), n);
+  if (r1.ec != std::errc() || r1.ptr != begin + slash ||
+      r2.ec != std::errc() || r2.ptr != begin + spec.size())
+    return false;
+  if (n < 1 || n > 1024 || i < 1 || i > n) return false;
+  index = i - 1;
+  count = n;
+  return true;
+}
+
+}  // namespace
 
 int run_campaign_command(const std::string& name,
                          const std::vector<std::string>& tokens,
@@ -583,13 +1000,34 @@ int run_campaign_command(const std::string& name,
   const bool checkpointable =
       cmd->run == &table4_report || cmd->run == &table5_report ||
       cmd->run == &bench_report;
+  const bool shardable = cmd->run == &table4_report;
+  const bool is_merge = cmd->run == &table4_merge_report;
   if (checkpointable) {
     args.add_string("--checkpoint", "",
                     "crash-safe checkpoint path stem; each campaign slice "
-                    "appends to <stem>.<slice>");
+                    "appends to <stem>.<slug>-<fp8>");
     args.add_bool("--resume",
                   "restore completed chunks from --checkpoint files and run "
                   "only the rest (fresh files are created when absent)");
+  }
+  if (shardable) {
+    args.add_int("--shards", 0,
+                 "fork N worker processes, each running its deterministic "
+                 "slice of every strategy (requires --checkpoint); the "
+                 "merged report is byte-identical to a single-process run",
+                 0, 1024);
+    args.add_string("--shard", "",
+                    "run one slice in-process for manual fleet dispatch, as "
+                    "i/N with 1-based i (requires --checkpoint); fold the "
+                    "fleet's files afterwards with `merge --shards N`");
+  }
+  if (is_merge) {
+    args.add_int("--shards", 1,
+                 "how many shards the table4 campaign was split into", 1,
+                 1024);
+    args.add_string("--checkpoint", "",
+                    "checkpoint path stem the shard slice files were written "
+                    "under (required)");
   }
   if (cmd->run == &bench_report)
     args.add_choice("--campaign", "table4", {"table4", "table5", "fig8"},
@@ -619,6 +1057,44 @@ int run_campaign_command(const std::string& name,
     if (options.resume && options.checkpoint.empty()) {
       err << "scaa_campaign " << cmd->name
           << ": --resume requires --checkpoint PATH\n"
+          << args.usage();
+      return 2;
+    }
+  }
+  if (shardable) {
+    options.shards = static_cast<int>(args.get_int("--shards"));
+    const std::string& shard_spec = args.get_string("--shard");
+    if (!shard_spec.empty() &&
+        !parse_shard_spec(shard_spec, options.shard_index,
+                          options.shard_count)) {
+      err << "scaa_campaign " << cmd->name << ": invalid --shard '"
+          << shard_spec << "' (expected i/N with 1 <= i <= N <= 1024)\n"
+          << args.usage();
+      return 2;
+    }
+    if (options.shards > 0 && options.shard_count > 0) {
+      err << "scaa_campaign " << cmd->name
+          << ": --shards (coordinator) and --shard (manual worker) are "
+             "mutually exclusive\n"
+          << args.usage();
+      return 2;
+    }
+    if ((options.shards > 1 || options.shard_count > 0) &&
+        options.checkpoint.empty()) {
+      err << "scaa_campaign " << cmd->name
+          << ": sharded runs require --checkpoint PATH (each worker "
+             "checkpoints its slice there; merge folds the files)\n"
+          << args.usage();
+      return 2;
+    }
+  }
+  if (is_merge) {
+    options.shards = static_cast<int>(args.get_int("--shards"));
+    options.checkpoint = args.get_string("--checkpoint");
+    if (options.checkpoint.empty()) {
+      err << "scaa_campaign " << cmd->name
+          << ": merge requires --checkpoint PATH (the stem the shard slice "
+             "files were written under)\n"
           << args.usage();
       return 2;
     }

@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <iosfwd>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "attack/strategies.hpp"
@@ -102,13 +103,44 @@ constexpr std::uint64_t bus_tick_workload_count(std::uint64_t ticks) {
 /// Knobs common to all campaigns; each subcommand maps its flags here.
 struct CampaignOptions {
   int reps = 1;             ///< repetitions per grid cell (paper: 20)
-  std::size_t threads = 0;  ///< worker threads (0 = hardware concurrency)
+  std::size_t threads = 0;  ///< worker threads (0 = hardware concurrency;
+                            ///< sharded: threads PER WORKER, 0 = hw/shards)
   std::uint64_t seed = 2022;  ///< base seed mixed into every simulation
   int decimate = 10;        ///< fig7 only: keep every n-th trace row
   std::string checkpoint;   ///< checkpoint path stem; empty = no checkpoint
   bool resume = false;      ///< load completed chunks from the checkpoint
   std::string bench_campaign = "table4";  ///< bench only: campaign to time
+  int shards = 0;        ///< table4/merge: worker processes (0/1 = off)
+  int shard_index = -1;  ///< manual --shard i/N worker: 0-based slice index
+  int shard_count = 0;   ///< manual --shard i/N worker: fleet size (0 = off)
 };
+
+/// Filesystem-safe slice token: "Random-ST+DUR" -> "random-st-dur".
+std::string slice_slug(const std::string& name);
+
+/// Checkpoint file for one campaign slice:
+/// `<stem>.<slug>-<fp8>[.s<i+1>of<N>]`. The 8-hex-digit fingerprint prefix
+/// makes the name collision-proof: two slices whose human-readable names
+/// slug identically (e.g. "Fixed On" vs "fixed-on") still get distinct
+/// files unless their grids are also identical — in which case sharing a
+/// checkpoint is exactly right. The shard suffix (empty when
+/// @p shard_count <= 1) separates the per-worker slice files of a sharded
+/// run.
+std::string slice_checkpoint_file(const std::string& stem,
+                                  const std::string& slice,
+                                  std::uint64_t fingerprint,
+                                  std::size_t shard = 0,
+                                  std::size_t shard_count = 0);
+
+/// Throws std::runtime_error naming both slices if any two (name,
+/// fingerprint) pairs map to the same checkpoint file under @p stem —
+/// i.e. identical slugs AND identical short fingerprints for different
+/// grids. Every checkpointing subcommand calls this on its full slice set
+/// before opening anything, so a collision is a clear upfront diagnostic
+/// instead of two campaigns silently interleaving one file.
+void reject_slice_file_collisions(
+    const std::string& stem,
+    const std::vector<std::pair<std::string, std::uint64_t>>& slices);
 
 /// One Table IV row spec (paper Table III): which strategy, whether it
 /// corrupts values strategically, and its repetition multiplier.
@@ -133,7 +165,25 @@ exp::CampaignProgressFn decile_progress(std::ostream* out,
 
 /// Table IV: attack-strategy comparison with an alert driver. One row per
 /// strategy. @p progress (may be null) receives per-strategy status lines.
+///
+/// Three execution modes, selected by the options:
+///  - default: run every strategy in-process (streaming runner).
+///  - options.shards > 1 (coordinator): fork that many worker processes,
+///    each running its deterministic slice of every strategy into its own
+///    checkpoint file, multiplex their pipe progress into one decile
+///    display, then merge the slice files — the returned report is
+///    byte-identical to the default mode.
+///  - options.shard_count > 0 (manual worker, --shard i/N): run only this
+///    worker's slice in-process and return a slice summary; a later
+///    `merge` folds the fleet's files into the real Table IV report.
 Report table4_report(const CampaignOptions& options, std::ostream* progress);
+
+/// `scaa_campaign merge`: fold the per-shard checkpoint slice files of a
+/// sharded table4 run (coordinator or manual fleet) into the exact Table IV
+/// report — byte-identical to a single-process `table4` run with the same
+/// --reps/--seed. Requires options.checkpoint and options.shards.
+Report table4_merge_report(const CampaignOptions& options,
+                           std::ostream* progress);
 
 /// Table V: Context-Aware attack per attack type, fixed vs. strategic value
 /// corruption, driver-on paired with driver-off runs. One row per

@@ -274,10 +274,25 @@ Aggregate aggregate(const std::vector<CampaignResult>& results) {
 Aggregate run_campaign_streaming(const std::vector<CampaignItem>& items,
                                  const CampaignConfig& config,
                                  const CampaignProgressFn& progress,
-                                 CampaignCheckpoint* checkpoint) {
+                                 CampaignCheckpoint* checkpoint,
+                                 const ChunkRange* chunks) {
   const WorldAssets assets = WorldAssets::make_default();
   const std::size_t n_chunks =
       (items.size() + kCampaignChunk - 1) / kCampaignChunk;
+
+  // The chunk range this call owns: the whole grid, or a shard's slice
+  // (clamped so an oversized range is harmless).
+  const std::size_t range_begin =
+      chunks != nullptr ? std::min(chunks->begin_chunk, n_chunks) : 0;
+  const std::size_t range_end =
+      chunks != nullptr ? std::min(chunks->end_chunk, n_chunks) : n_chunks;
+  const auto chunk_items = [&](std::size_t c) {
+    return std::min(items.size(), (c + 1) * kCampaignChunk) -
+           c * kCampaignChunk;
+  };
+  std::size_t range_items = 0;
+  for (std::size_t c = range_begin; c < range_end; ++c)
+    range_items += chunk_items(c);
 
   // One accumulator per chunk, padded to a cache line: each is written by
   // exactly one worker, and the padding keeps neighbouring chunks from
@@ -289,15 +304,16 @@ Aggregate run_campaign_streaming(const std::vector<CampaignItem>& items,
 
   // Restore already-committed chunks before submitting anything: they are
   // never recomputed, and the first progress callback accounts for them.
+  // Only in-range chunks count — a shard worker reports its slice alone.
   std::size_t restored = 0;
   if (checkpoint != nullptr) {
-    for (std::size_t c = 0; c < n_chunks; ++c) {
+    for (std::size_t c = range_begin; c < range_end; ++c) {
       if (!checkpoint->chunk_complete(c)) continue;
       partials[c].acc = checkpoint->restored(c);
+      restored += chunk_items(c);
     }
-    restored = checkpoint->completed_items();
     if (progress && restored > 0)
-      progress(CampaignProgress{restored, items.size()});
+      progress(CampaignProgress{restored, range_items});
   }
 
   std::mutex progress_mutex;
@@ -306,10 +322,10 @@ Aggregate run_campaign_streaming(const std::vector<CampaignItem>& items,
   CommitErrors errors;
   {
     ThreadPool pool(config.threads);
-    for (std::size_t c = 0; c < n_chunks; ++c) {
+    for (std::size_t c = range_begin; c < range_end; ++c) {
       if (checkpoint != nullptr && checkpoint->chunk_complete(c)) continue;
       pool.submit([&items, &assets, &partials, &progress, &progress_mutex,
-                   &completed, &arenas, checkpoint, &errors, c] {
+                   &completed, &arenas, checkpoint, &errors, c, range_items] {
         if (errors.failed.load(std::memory_order_acquire)) return;
         const std::size_t begin = c * kCampaignChunk;
         const std::size_t end =
@@ -337,7 +353,7 @@ Aggregate run_campaign_streaming(const std::vector<CampaignItem>& items,
         if (progress) {
           const std::lock_guard<std::mutex> lock(progress_mutex);
           completed += end - begin;
-          progress(CampaignProgress{completed, items.size()});
+          progress(CampaignProgress{completed, range_items});
         }
       });
     }
@@ -347,9 +363,12 @@ Aggregate run_campaign_streaming(const std::vector<CampaignItem>& items,
 
   // Merge in chunk order: the fixed order is what makes the result
   // independent of which worker ran which chunk — and, with a checkpoint,
-  // of which chunks were restored vs. freshly computed.
+  // of which chunks were restored vs. freshly computed. A sliced call
+  // folds only its own range, so the returned Aggregate covers exactly
+  // the slice's items.
   AggregateAccumulator total;
-  for (const PaddedAccumulator& p : partials) total.merge(p.acc);
+  for (std::size_t c = range_begin; c < range_end; ++c)
+    total.merge(partials[c].acc);
   return total.finish();
 }
 

@@ -86,6 +86,22 @@ inline constexpr std::size_t kCampaignChunk = 64;
 class CampaignCheckpoint;  // exp/checkpoint.hpp: streaming-aggregate mode
 class ResultsCheckpoint;   // exp/checkpoint.hpp: per-item results mode
 
+/// Half-open range of kCampaignChunk-sized chunks [begin_chunk, end_chunk)
+/// in a grid's global chunk index space. The unit the sharded coordinator
+/// partitions campaigns by (exp::ShardPlan): because shard boundaries fall
+/// on chunk boundaries — the reduction and checkpoint-commit granularity —
+/// per-slice partials merged back in global chunk order are bit-identical
+/// to a single-process run.
+struct ChunkRange {
+  std::size_t begin_chunk = 0;
+  std::size_t end_chunk = 0;
+
+  std::size_t chunk_count() const noexcept { return end_chunk - begin_chunk; }
+  bool contains(std::size_t chunk) const noexcept {
+    return chunk >= begin_chunk && chunk < end_chunk;
+  }
+};
+
 /// Run every item; results are returned in item order (deterministic).
 /// With a @p checkpoint (may be null), work is submitted in kCampaignChunk
 /// chunks: chunks the checkpoint already holds are restored instead of
@@ -183,9 +199,20 @@ using CampaignProgressFn = std::function<void(const CampaignProgress&)>;
 /// killed and resumed any number of times returns an Aggregate bit-identical
 /// to an uninterrupted run, at any thread count. A commit failure (e.g. disk
 /// full) aborts outstanding work and rethrows after the pool drains.
+///
+/// With a @p chunks range (may be null = the whole grid), only the chunks
+/// in [begin_chunk, end_chunk) are restored, run, folded, and counted: this
+/// is the shard-worker entry point, where @p items is still the FULL grid
+/// (so the checkpoint fingerprint matches every other slice of the same
+/// campaign) but this process owns only its slice. Progress totals cover
+/// the slice, and the returned Aggregate is the slice's alone — the merge
+/// step (exp/shard.hpp) folds the per-chunk checkpoint records of all
+/// slices in global chunk order to reconstruct the campaign total
+/// bit-identically.
 Aggregate run_campaign_streaming(const std::vector<CampaignItem>& items,
                                  const CampaignConfig& config,
                                  const CampaignProgressFn& progress = {},
-                                 CampaignCheckpoint* checkpoint = nullptr);
+                                 CampaignCheckpoint* checkpoint = nullptr,
+                                 const ChunkRange* chunks = nullptr);
 
 }  // namespace scaa::exp

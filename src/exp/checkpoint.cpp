@@ -8,6 +8,7 @@
 #include <cerrno>
 #include <charconv>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <functional>
 #include <mutex>
@@ -356,6 +357,18 @@ struct CheckpointCore {
   void open(bool resume, const ChunkParser& parser) {
     complete.assign(n_chunks, 0);
 
+    // Create missing parent directories so a stem like `runs/t4` works on
+    // the first use — sharded fleets point every worker at one fresh
+    // directory, and requiring a manual mkdir first would make the
+    // "re-execute the same command in a retry loop" pattern fragile.
+    const std::filesystem::path parent =
+        std::filesystem::path(path).parent_path();
+    if (!parent.empty()) {
+      std::error_code ec;
+      std::filesystem::create_directories(parent, ec);  // best effort;
+      // a real problem surfaces as the ::open failure below.
+    }
+
     std::string contents;
     {
       std::ifstream in(path, std::ios::binary);
@@ -388,6 +401,39 @@ struct CheckpointCore {
       append_line(frame_line(header_payload()));
       sync_directory();
     }
+  }
+
+  /// Open an existing file strictly for reading (the merge path): the file
+  /// must exist, records load through @p parser with the usual validation,
+  /// a torn tail is tolerated but NOT repaired (this side never writes),
+  /// and the exclusive flock is still taken so reading a slice out from
+  /// under a live writer fails cleanly.
+  void open_read_only(const ChunkParser& parser) {
+    complete.assign(n_chunks, 0);
+
+    fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0)
+      fail(path, std::string("cannot open slice checkpoint: ") +
+                     std::strerror(errno));
+    if (::flock(fd, LOCK_EX | LOCK_NB) != 0)
+      fail(path, "another process holds this checkpoint — is a shard worker "
+                 "still running? (flock: " +
+                     std::string(std::strerror(errno)) + ")");
+
+    std::string contents;
+    {
+      std::ifstream in(path, std::ios::binary);
+      if (in) {
+        contents.assign(std::istreambuf_iterator<char>(in),
+                        std::istreambuf_iterator<char>());
+      }
+    }
+    if (contents.empty())
+      fail(path, "empty file (the worker never wrote its header)");
+    // load() returns the offset past the last valid line; 0 means even the
+    // header failed to parse — nothing here is attributable to this grid.
+    if (load(contents, parser) == 0)
+      fail(path, "no valid header (torn write or not a checkpoint file)");
   }
 
   void append_line(const std::string& line) {
@@ -437,6 +483,37 @@ std::string chunk_prefix(std::size_t chunk) {
   return "chunk=" + std::to_string(chunk) + " ";
 }
 
+/// The agg-mode chunk-record parser, shared by the writer's resume path
+/// (CampaignCheckpoint) and the merge path (CampaignCheckpointReader) so
+/// the two can never drift: decodes one record into (*records)[chunk].
+ChunkParser agg_record_parser(CheckpointCore* core,
+                              std::vector<AggregateAccumulatorRecord>* records) {
+  return [records, core](std::size_t chunk, std::size_t expected_items,
+                         const std::vector<std::string_view>& t) {
+    AggregateAccumulatorRecord r;
+    std::string_view v;
+    if (t.size() != 8 || !key_value(t[0], "sims", v) ||
+        !parse_dec_u64(v, r.simulations) || !key_value(t[1], "alerts", v) ||
+        !parse_dec_u64(v, r.sims_with_alerts) ||
+        !key_value(t[2], "hazards", v) ||
+        !parse_dec_u64(v, r.sims_with_hazards) ||
+        !key_value(t[3], "accidents", v) ||
+        !parse_dec_u64(v, r.sims_with_accidents) ||
+        !key_value(t[4], "noalert", v) ||
+        !parse_dec_u64(v, r.hazards_without_alerts) ||
+        !key_value(t[5], "fcw", v) || !parse_dec_u64(v, r.fcw_activations) ||
+        !key_value(t[6], "inv", v) || !decode_rs(v, r.invasion_rate) ||
+        !key_value(t[7], "tth", v) || !decode_rs(v, r.tth))
+      core->corrupt("malformed aggregate record for chunk " +
+                    std::to_string(chunk));
+    if (r.simulations != expected_items)
+      core->corrupt("chunk " + std::to_string(chunk) + " holds " +
+                    std::to_string(r.simulations) + " simulations, expected " +
+                    std::to_string(expected_items));
+    (*records)[chunk] = r;
+  };
+}
+
 }  // namespace
 
 std::uint64_t grid_fingerprint(const std::vector<CampaignItem>& items) {
@@ -476,33 +553,7 @@ CampaignCheckpoint::CampaignCheckpoint(std::string path,
   core.n_chunks = (items.size() + kCampaignChunk - 1) / kCampaignChunk;
   impl_->records.resize(core.n_chunks);
 
-  auto* records = &impl_->records;
-  auto* corep = &core;
-  core.open(resume, [records, corep](std::size_t chunk,
-                                     std::size_t expected_items,
-                                     const std::vector<std::string_view>& t) {
-    AggregateAccumulatorRecord r;
-    std::string_view v;
-    if (t.size() != 8 || !key_value(t[0], "sims", v) ||
-        !parse_dec_u64(v, r.simulations) || !key_value(t[1], "alerts", v) ||
-        !parse_dec_u64(v, r.sims_with_alerts) ||
-        !key_value(t[2], "hazards", v) ||
-        !parse_dec_u64(v, r.sims_with_hazards) ||
-        !key_value(t[3], "accidents", v) ||
-        !parse_dec_u64(v, r.sims_with_accidents) ||
-        !key_value(t[4], "noalert", v) ||
-        !parse_dec_u64(v, r.hazards_without_alerts) ||
-        !key_value(t[5], "fcw", v) || !parse_dec_u64(v, r.fcw_activations) ||
-        !key_value(t[6], "inv", v) || !decode_rs(v, r.invasion_rate) ||
-        !key_value(t[7], "tth", v) || !decode_rs(v, r.tth))
-      corep->corrupt("malformed aggregate record for chunk " +
-                     std::to_string(chunk));
-    if (r.simulations != expected_items)
-      corep->corrupt("chunk " + std::to_string(chunk) + " holds " +
-                     std::to_string(r.simulations) + " simulations, expected " +
-                     std::to_string(expected_items));
-    (*records)[chunk] = r;
-  });
+  core.open(resume, agg_record_parser(&core, &impl_->records));
 }
 
 CampaignCheckpoint::~CampaignCheckpoint() = default;
@@ -543,6 +594,55 @@ void CampaignCheckpoint::commit(std::size_t chunk,
   payload += " inv=" + encode_rs(r.invasion_rate);
   payload += " tth=" + encode_rs(r.tth);
   impl_->core.commit_payload(chunk, payload);
+}
+
+// --- CampaignCheckpointReader (mode=agg, read-only merge path) ------------
+
+struct CampaignCheckpointReader::Impl {
+  CheckpointCore core;
+  std::vector<AggregateAccumulatorRecord> records;  // valid iff complete
+};
+
+CampaignCheckpointReader::CampaignCheckpointReader(
+    std::string path, const std::vector<CampaignItem>& items)
+    : impl_(std::make_unique<Impl>()) {
+  CheckpointCore& core = impl_->core;
+  core.path = std::move(path);
+  core.mode = "agg";
+  core.fingerprint = grid_fingerprint(items);
+  core.n_items = items.size();
+  core.n_chunks = (items.size() + kCampaignChunk - 1) / kCampaignChunk;
+  impl_->records.resize(core.n_chunks);
+
+  core.open_read_only(agg_record_parser(&core, &impl_->records));
+}
+
+CampaignCheckpointReader::~CampaignCheckpointReader() = default;
+
+const std::string& CampaignCheckpointReader::path() const noexcept {
+  return impl_->core.path;
+}
+std::size_t CampaignCheckpointReader::chunk_count() const noexcept {
+  return impl_->core.n_chunks;
+}
+std::size_t CampaignCheckpointReader::completed_chunks() const noexcept {
+  return impl_->core.restored_chunks;
+}
+std::size_t CampaignCheckpointReader::completed_items() const noexcept {
+  return impl_->core.restored_items;
+}
+
+bool CampaignCheckpointReader::chunk_complete(std::size_t chunk) const {
+  const CheckpointCore& core = impl_->core;
+  return chunk < core.n_chunks && core.complete[chunk] != 0;
+}
+
+const AggregateAccumulatorRecord& CampaignCheckpointReader::record(
+    std::size_t chunk) const {
+  if (!chunk_complete(chunk))
+    fail(impl_->core.path,
+         "record(): chunk " + std::to_string(chunk) + " is not in this file");
+  return impl_->records[chunk];
 }
 
 // --- ResultsCheckpoint (mode=results) -------------------------------------

@@ -126,6 +126,43 @@ class CampaignCheckpoint {
   std::unique_ptr<Impl> impl_;
 };
 
+/// Read-only loader for an agg-mode checkpoint file: the merge half of the
+/// sharded campaign workflow. Validates the header against @p items exactly
+/// like resume does (same fingerprint/shape/format rules — every slice of a
+/// sharded campaign checkpoints the FULL grid's fingerprint, each file just
+/// holding its own chunks), loads every committed chunk record, and
+/// tolerates a torn final line WITHOUT repairing the file (merge never
+/// writes; the owning worker repairs on its next resume). The file must
+/// exist — a missing slice is an error here, never silently created.
+///
+/// Holds the same exclusive advisory flock(2) as the writer for its
+/// lifetime, so merging a slice that a live worker is still appending to
+/// fails cleanly instead of folding a half-written campaign.
+class CampaignCheckpointReader {
+ public:
+  CampaignCheckpointReader(std::string path,
+                           const std::vector<CampaignItem>& items);
+  ~CampaignCheckpointReader();
+
+  CampaignCheckpointReader(const CampaignCheckpointReader&) = delete;
+  CampaignCheckpointReader& operator=(const CampaignCheckpointReader&) =
+      delete;
+
+  const std::string& path() const noexcept;
+  std::size_t chunk_count() const noexcept;
+  std::size_t completed_chunks() const noexcept;
+  std::size_t completed_items() const noexcept;
+  bool chunk_complete(std::size_t chunk) const;
+
+  /// The committed record for a complete chunk (bit-exact). Throws
+  /// CheckpointError when the chunk is not in this file.
+  const AggregateAccumulatorRecord& record(std::size_t chunk) const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
 /// Checkpoint for the materializing run_campaign (Table V needs per-item
 /// results for driver-on/off pairing): persists every SimulationSummary of
 /// a completed chunk. Same framing, fingerprint, and crash-tolerance rules

@@ -1,0 +1,103 @@
+#include "exp/shard.hpp"
+
+#include <memory>
+#include <stdexcept>
+
+#include "exp/checkpoint.hpp"
+#include "util/serial.hpp"
+
+namespace scaa::exp {
+
+ShardPlan::ShardPlan(std::size_t n_items, std::size_t n_shards)
+    : n_items_(n_items),
+      n_chunks_((n_items + kCampaignChunk - 1) / kCampaignChunk),
+      n_shards_(n_shards) {
+  if (n_shards == 0)
+    throw std::invalid_argument("ShardPlan: shard count must be >= 1");
+}
+
+ChunkRange ShardPlan::chunks_for(std::size_t shard) const {
+  if (shard >= n_shards_)
+    throw std::invalid_argument("ShardPlan: shard index out of range");
+  // Balanced contiguous split: floor(s*C/N) boundaries give every shard
+  // either floor(C/N) or ceil(C/N) chunks and cover [0, C) exactly, for any
+  // N — including N > C, where the tail shards get empty ranges.
+  ChunkRange range;
+  range.begin_chunk = shard * n_chunks_ / n_shards_;
+  range.end_chunk = (shard + 1) * n_chunks_ / n_shards_;
+  return range;
+}
+
+std::size_t ShardPlan::items_in(std::size_t shard) const {
+  const ChunkRange range = chunks_for(shard);
+  const std::size_t begin = range.begin_chunk * kCampaignChunk;
+  const std::size_t end =
+      std::min(n_items_, range.end_chunk * kCampaignChunk);
+  return end > begin ? end - begin : 0;
+}
+
+std::string short_fingerprint(std::uint64_t fingerprint) {
+  return util::hex_u64(fingerprint).substr(0, 8);
+}
+
+std::string shard_suffix(std::size_t shard, std::size_t n_shards) {
+  if (n_shards <= 1) return "";
+  return ".s" + std::to_string(shard + 1) + "of" + std::to_string(n_shards);
+}
+
+Aggregate merge_slice_files(const std::vector<CampaignItem>& items,
+                            const std::vector<std::string>& slice_paths) {
+  const std::size_t n_chunks =
+      (items.size() + kCampaignChunk - 1) / kCampaignChunk;
+
+  // Load every slice first (each reader validates fingerprint/shape/records
+  // and holds the file's flock until the merge completes), then check the
+  // chunk sets partition [0, n_chunks) before folding anything: coverage
+  // errors should name files, not surface as a half-merged aggregate.
+  std::vector<std::unique_ptr<CampaignCheckpointReader>> readers;
+  readers.reserve(slice_paths.size());
+  std::vector<const CampaignCheckpointReader*> owner(n_chunks, nullptr);
+  for (const std::string& path : slice_paths) {
+    readers.push_back(
+        std::make_unique<CampaignCheckpointReader>(path, items));
+    const CampaignCheckpointReader& reader = *readers.back();
+    for (std::size_t c = 0; c < n_chunks; ++c) {
+      if (!reader.chunk_complete(c)) continue;
+      if (owner[c] != nullptr)
+        throw CheckpointError(
+            "merge: chunk " + std::to_string(c) + " appears in both '" +
+            owner[c]->path() + "' and '" + reader.path() +
+            "' — duplicate or overlapping slices; each chunk must be "
+            "committed by exactly one slice file");
+      owner[c] = &reader;
+    }
+  }
+
+  std::size_t missing = 0;
+  std::string missing_list;
+  for (std::size_t c = 0; c < n_chunks; ++c) {
+    if (owner[c] != nullptr) continue;
+    ++missing;
+    if (missing <= 8) {
+      if (!missing_list.empty()) missing_list += ", ";
+      missing_list += std::to_string(c);
+    }
+  }
+  if (missing > 0) {
+    if (missing > 8) missing_list += ", ...";
+    throw CheckpointError(
+        "merge: " + std::to_string(missing) + " of " +
+        std::to_string(n_chunks) + " chunks missing (chunks " + missing_list +
+        ") — a worker was killed or never ran; re-dispatch its shard with "
+        "--resume to complete the slice, then merge again");
+  }
+
+  // The exact single-process reduction: one record per chunk, folded in
+  // global chunk order. Which file a record came from is irrelevant.
+  AggregateAccumulator total;
+  for (std::size_t c = 0; c < n_chunks; ++c)
+    total.merge(AggregateAccumulator::from_record(owner[c]->record(c)));
+  return total.finish();
+}
+
+}  // namespace scaa::exp

@@ -1,0 +1,115 @@
+#pragma once
+
+/// @file proc.hpp
+/// Minimal process and pipe helpers for the campaign coordinator.
+///
+/// The sharded campaign runner forks one worker process per slice and
+/// multiplexes their progress over pipes. These are deliberately thin
+/// wrappers over fork(2)/pipe(2)/poll(2)/waitpid(2): no exec, no shell,
+/// no signals machinery beyond ignoring SIGPIPE in workers — a worker
+/// whose coordinator died keeps running (its results are checkpointed;
+/// a later `merge` picks them up) instead of dying on a pipe write.
+///
+/// fork-without-exec is safe here because the coordinator forks before it
+/// creates any threads: campaign thread pools are scoped to a run, and the
+/// coordinator itself never simulates.
+
+#include <sys/types.h>
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace scaa::util {
+
+/// Owning file descriptor (close-on-destroy, move-only).
+class UniqueFd {
+ public:
+  UniqueFd() = default;
+  explicit UniqueFd(int fd) noexcept : fd_(fd) {}
+  ~UniqueFd() { reset(); }
+
+  UniqueFd(UniqueFd&& other) noexcept : fd_(other.release()) {}
+  UniqueFd& operator=(UniqueFd&& other) noexcept {
+    if (this != &other) reset(other.release());
+    return *this;
+  }
+  UniqueFd(const UniqueFd&) = delete;
+  UniqueFd& operator=(const UniqueFd&) = delete;
+
+  int get() const noexcept { return fd_; }
+  explicit operator bool() const noexcept { return fd_ >= 0; }
+
+  /// Give up ownership without closing.
+  int release() noexcept {
+    const int fd = fd_;
+    fd_ = -1;
+    return fd;
+  }
+
+  /// Close the current fd (if any) and adopt @p fd.
+  void reset(int fd = -1) noexcept;
+
+ private:
+  int fd_ = -1;
+};
+
+/// Both ends of a pipe(2). Throws std::system_error on failure.
+struct PipeFds {
+  UniqueFd read_end;
+  UniqueFd write_end;
+};
+PipeFds make_pipe();
+
+/// Write @p line plus a trailing '\n' to @p fd, retrying on EINTR and
+/// short writes. Returns false (instead of throwing) when the reader is
+/// gone (EPIPE) or the write fails otherwise — progress reporting must
+/// never kill a worker whose results are still being checkpointed.
+/// Callers must ignore SIGPIPE (fork_worker's children do).
+bool write_line(int fd, std::string_view line) noexcept;
+
+/// Decoded waitpid(2) status.
+struct ExitStatus {
+  bool exited = false;  ///< terminated via exit(); `code` is valid
+  int code = -1;        ///< exit code when `exited`
+  int signal = 0;       ///< terminating signal when !`exited`
+
+  bool ok() const noexcept { return exited && code == 0; }
+  /// Human-readable form: "exit code 1", "killed by signal 9 (SIGKILL)".
+  std::string describe() const;
+};
+
+/// Blocking waitpid for @p pid. Throws std::system_error if waitpid fails
+/// (e.g. the pid is not a child of this process).
+ExitStatus wait_child(pid_t pid);
+
+/// One forked worker: the child runs `body(progress_fd)` with SIGPIPE
+/// ignored and `_exit`s with its return value (never returning into the
+/// parent's stack, atexit handlers, or buffered streams); the parent keeps
+/// the pipe's read end. Throws std::system_error when fork fails. The body
+/// must not let exceptions escape (fork_worker _exits 125 if one does, so
+/// a bug cannot fall through and resume the parent's control flow twice).
+struct ForkedWorker {
+  pid_t pid = -1;
+  UniqueFd progress;  ///< read end of the worker's progress pipe
+};
+ForkedWorker fork_worker(const std::function<int(int progress_fd)>& body);
+
+/// Poll-based line demultiplexer over a set of pipe read ends: run()
+/// blocks until every fd reaches EOF, invoking on_line(index, line) for
+/// each complete '\n'-terminated line in arrival order (a final unterminated
+/// fragment is delivered at EOF). The fds are borrowed, not owned.
+class LineMux {
+ public:
+  explicit LineMux(std::vector<int> fds);
+
+  void run(const std::function<void(std::size_t, std::string_view)>& on_line);
+
+ private:
+  std::vector<int> fds_;
+  std::vector<std::string> buffers_;
+};
+
+}  // namespace scaa::util

@@ -1,0 +1,171 @@
+// Tests for the process/pipe primitives under the sharded campaign
+// coordinator: fd ownership, pipe line framing, fork_worker exit-status
+// plumbing (codes, signals, escaped exceptions), and the LineMux
+// demultiplexer the coordinator's progress display runs on.
+
+#include <gtest/gtest.h>
+
+#include <csignal>
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/proc.hpp"
+
+namespace {
+
+using namespace scaa;
+
+TEST(UniqueFd, ClosesOnDestroy) {
+  util::PipeFds pipe = util::make_pipe();
+  const int raw = pipe.read_end.get();
+  ASSERT_GE(raw, 0);
+  { util::UniqueFd owner(pipe.read_end.release()); }
+  // The fd must be closed now: fcntl on it fails with EBADF.
+  EXPECT_EQ(::fcntl(raw, F_GETFD), -1);
+  EXPECT_EQ(errno, EBADF);
+}
+
+TEST(UniqueFd, MoveTransfersOwnership) {
+  util::PipeFds pipe = util::make_pipe();
+  const int raw = pipe.write_end.get();
+  util::UniqueFd moved(std::move(pipe.write_end));
+  EXPECT_EQ(pipe.write_end.get(), -1);
+  EXPECT_EQ(moved.get(), raw);
+  util::UniqueFd assigned;
+  assigned = std::move(moved);
+  EXPECT_EQ(moved.get(), -1);
+  EXPECT_EQ(assigned.get(), raw);
+  EXPECT_EQ(::fcntl(raw, F_GETFD) >= 0, true);
+}
+
+TEST(WriteLine, AppendsNewlineAndRoundTrips) {
+  util::PipeFds pipe = util::make_pipe();
+  ASSERT_TRUE(util::write_line(pipe.write_end.get(), "P 42"));
+  char buf[16] = {};
+  const ssize_t n = ::read(pipe.read_end.get(), buf, sizeof(buf));
+  EXPECT_EQ(std::string(buf, static_cast<std::size_t>(n)), "P 42\n");
+}
+
+TEST(WriteLine, ReturnsFalseWhenReaderGone) {
+  // write_line must never kill the caller: a worker whose coordinator died
+  // keeps simulating (its chunks are checkpointed).
+  auto* previous = std::signal(SIGPIPE, SIG_IGN);
+  util::PipeFds pipe = util::make_pipe();
+  pipe.read_end.reset();
+  EXPECT_FALSE(util::write_line(pipe.write_end.get(), "orphaned"));
+  std::signal(SIGPIPE, previous);
+}
+
+TEST(ExitStatus, DescribeNamesCodesAndSignals) {
+  util::ExitStatus code;
+  code.exited = true;
+  code.code = 3;
+  EXPECT_NE(code.describe().find("3"), std::string::npos);
+  EXPECT_TRUE(code.exited);
+  EXPECT_FALSE(code.ok());
+  util::ExitStatus sig;
+  sig.exited = false;
+  sig.signal = SIGKILL;
+  EXPECT_NE(sig.describe().find("signal 9"), std::string::npos);
+  EXPECT_FALSE(sig.ok());
+}
+
+TEST(ForkWorker, PropagatesExitCodeAndProgress) {
+  util::ForkedWorker worker = util::fork_worker([](int fd) {
+    util::write_line(fd, "hello from child");
+    return 7;
+  });
+  std::string received;
+  char buf[64];
+  ssize_t n;
+  while ((n = ::read(worker.progress.get(), buf, sizeof(buf))) > 0)
+    received.append(buf, static_cast<std::size_t>(n));
+  EXPECT_EQ(received, "hello from child\n");
+  const util::ExitStatus status = util::wait_child(worker.pid);
+  EXPECT_TRUE(status.exited);
+  EXPECT_EQ(status.code, 7);
+  EXPECT_FALSE(status.ok());
+}
+
+TEST(ForkWorker, ZeroExitIsOk) {
+  util::ForkedWorker worker = util::fork_worker([](int) { return 0; });
+  EXPECT_TRUE(util::wait_child(worker.pid).ok());
+}
+
+TEST(ForkWorker, EscapedExceptionExits125) {
+  util::ForkedWorker worker = util::fork_worker(
+      [](int) -> int { throw std::runtime_error("child bug"); });
+  const util::ExitStatus status = util::wait_child(worker.pid);
+  EXPECT_TRUE(status.exited);
+  EXPECT_EQ(status.code, 125);
+}
+
+TEST(ForkWorker, KilledChildReportsSignal) {
+  util::ForkedWorker worker = util::fork_worker([](int fd) {
+    util::write_line(fd, "ready");
+    // Park until killed; the pipe read end going away must not matter.
+    for (;;) ::pause();
+    return 0;
+  });
+  char buf[16];
+  ASSERT_GT(::read(worker.progress.get(), buf, sizeof(buf)), 0);
+  ASSERT_EQ(::kill(worker.pid, SIGKILL), 0);
+  const util::ExitStatus status = util::wait_child(worker.pid);
+  EXPECT_FALSE(status.exited);
+  EXPECT_EQ(status.signal, SIGKILL);
+  EXPECT_FALSE(status.ok());
+}
+
+TEST(LineMux, DemultiplexesInterleavedWriters) {
+  // Two workers interleave lines; LineMux must deliver each complete line
+  // tagged with its source index, and the unterminated tail at EOF.
+  util::ForkedWorker a = util::fork_worker([](int fd) {
+    util::write_line(fd, "a1");
+    util::write_line(fd, "a2");
+    // Unterminated fragment: delivered when the fd reaches EOF.
+    const char tail[] = "a-tail";
+    (void)!::write(fd, tail, sizeof(tail) - 1);
+    return 0;
+  });
+  util::ForkedWorker b = util::fork_worker([](int fd) {
+    util::write_line(fd, "b1");
+    return 0;
+  });
+
+  std::map<std::size_t, std::vector<std::string>> lines;
+  util::LineMux mux({a.progress.get(), b.progress.get()});
+  mux.run([&](std::size_t index, std::string_view line) {
+    lines[index].emplace_back(line);
+  });
+
+  EXPECT_TRUE(util::wait_child(a.pid).ok());
+  EXPECT_TRUE(util::wait_child(b.pid).ok());
+  EXPECT_EQ(lines[0],
+            (std::vector<std::string>{"a1", "a2", "a-tail"}));
+  EXPECT_EQ(lines[1], (std::vector<std::string>{"b1"}));
+}
+
+TEST(LineMux, SplitWritesReassemble) {
+  // A line written byte-by-byte across many write(2) calls must still be
+  // delivered as one line.
+  util::ForkedWorker worker = util::fork_worker([](int fd) {
+    const std::string line = "P 12345\n";
+    for (const char c : line) {
+      if (::write(fd, &c, 1) != 1) return 1;
+    }
+    return 0;
+  });
+  std::vector<std::string> lines;
+  util::LineMux mux({worker.progress.get()});
+  mux.run([&](std::size_t, std::string_view line) {
+    lines.emplace_back(line);
+  });
+  EXPECT_TRUE(util::wait_child(worker.pid).ok());
+  EXPECT_EQ(lines, (std::vector<std::string>{"P 12345"}));
+}
+
+}  // namespace

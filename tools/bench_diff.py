@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
-"""Report-only diff of benchmark trajectory points.
+"""Diff of benchmark trajectory points.
 
-Usage: bench_diff.py BASELINE FRESH [BASELINE FRESH ...]
+Usage: bench_diff.py [--strict] BASELINE FRESH [BASELINE FRESH ...]
 
 Each argument pair is a committed BENCH_*.json baseline and a freshly
 emitted copy (scaa_campaign bench --format json). For every row (keyed by
@@ -19,14 +19,19 @@ the zero-copy typed dispatch path (six Latest latches, no raw tap) over
 the steady-state publish mix; bench_step's bus_publish_typed/tapped/
 legacy rows carry the same workload against the in-bench legacy bus.
 
-Always exits 0: shared CI runners make timings too noisy to gate on. The
-output lands in the benchmark artifact so regressions are visible.
+Timing columns (wall_s, throughput, parallel efficiency) NEVER gate:
+shared CI runners make them too noisy. Without --strict the script always
+exits 0 and the output lands in the benchmark artifact for human review.
+With --strict it exits 1 when a deterministic column drifts or a baseline
+row goes missing — those are code regressions, not noise — while NEW ROW
+(a row the baseline predates) stays a warning so adding a benchmark does
+not require a lockstep baseline update.
 """
 
 import json
 import sys
 
-TIMING_COLUMNS = {"wall_s", "sims_per_s", "points_per_s"}
+TIMING_COLUMNS = {"wall_s", "sims_per_s", "points_per_s", "efficiency"}
 
 # Rows measuring an isolated kernel rather than a campaign slice, annotated
 # so a reader of the artifact does not misread ops/s as simulations/s.
@@ -43,11 +48,13 @@ def load(path):
 
 
 def diff_pair(baseline_path, fresh_path):
+    """Print the diff; return the number of gating (deterministic) failures."""
     print(f"== {baseline_path} vs {fresh_path}")
     baseline = load(baseline_path)
     fresh = load(fresh_path)
     if baseline is None or fresh is None:
-        return
+        return 1
+    failures = 0
     key = baseline["columns"][0]
     base_rows = {row[key]: row for row in baseline["rows"]}
     for row in fresh["rows"]:
@@ -74,17 +81,28 @@ def diff_pair(baseline_path, fresh_path):
         print(f"  {name}: {line}{tag}")
         if drift:
             print(f"  {name}: DETERMINISTIC COLUMNS DIFFER: {'; '.join(drift)}")
+            failures += 1
     for name in base_rows:
         if not any(row[key] == name for row in fresh["rows"]):
             print(f"  {name}: MISSING from fresh run")
+            failures += 1
+    return failures
 
 
 def main(argv):
+    strict = False
+    if argv and argv[0] == "--strict":
+        strict = True
+        argv = argv[1:]
     if len(argv) < 2 or len(argv) % 2 != 0:
         print(__doc__)
         return 0
+    failures = 0
     for i in range(0, len(argv), 2):
-        diff_pair(argv[i], argv[i + 1])
+        failures += diff_pair(argv[i], argv[i + 1])
+    if failures and strict:
+        print(f"bench_diff: {failures} deterministic failure(s) (--strict)")
+        return 1
     return 0
 
 

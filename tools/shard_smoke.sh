@@ -1,0 +1,84 @@
+#!/usr/bin/env bash
+# Multi-process shard orchestration smoke test.
+#
+# Usage: shard_smoke.sh SCAA_CAMPAIGN_BIN WORKDIR [--kill]
+# Env:   REPS (default 1), SEED (default 2022), SHARDS (default 4)
+#
+# Runs the table4 campaign three ways and asserts all outputs are
+# byte-identical:
+#   1. single process (the reference),
+#   2. sharded coordinator with SHARDS forked workers — with --kill, one
+#      worker is SIGKILLed mid-run, the coordinator must exit non-zero,
+#      and a --resume rerun finishes from the fsync'd chunks,
+#   3. `scaa_campaign merge` folding the per-shard checkpoint slices.
+# The merged report is additionally diffed with bench_diff.py --strict,
+# which exits non-zero on any deterministic-column drift.
+set -euo pipefail
+
+BIN=${1:?usage: shard_smoke.sh SCAA_CAMPAIGN_BIN WORKDIR [--kill]}
+WORK=${2:?usage: shard_smoke.sh SCAA_CAMPAIGN_BIN WORKDIR [--kill]}
+KILL=${3:-}
+REPS=${REPS:-1}
+SEED=${SEED:-2022}
+SHARDS=${SHARDS:-4}
+TOOLS_DIR=$(cd "$(dirname "$0")" && pwd)
+
+rm -rf "$WORK"
+mkdir -p "$WORK"
+COMMON=(table4 --reps "$REPS" --seed "$SEED" --format json)
+
+echo "shard_smoke: single-process reference (reps=$REPS seed=$SEED)"
+"$BIN" "${COMMON[@]}" --out "$WORK/ref.json" >/dev/null
+
+if [ "$KILL" = "--kill" ]; then
+  echo "shard_smoke: coordinator with $SHARDS workers, SIGKILLing one mid-run"
+  set +e
+  "$BIN" "${COMMON[@]}" --shards "$SHARDS" --checkpoint "$WORK/ck" \
+    --out "$WORK/sharded.json" >"$WORK/coord.out" 2>"$WORK/coord.err" &
+  COORD=$!
+  # Give the coordinator time to fork, then kill whichever worker is still
+  # alive. On a fast machine every worker may already have finished — then
+  # there is nothing to kill and the run legitimately succeeds.
+  sleep 0.5
+  VICTIM=$(pgrep -P "$COORD" 2>/dev/null | head -n 1 || true)
+  if [ -n "$VICTIM" ]; then
+    kill -KILL "$VICTIM"
+  fi
+  wait "$COORD"
+  STATUS=$?
+  set -e
+  if [ -n "$VICTIM" ]; then
+    if [ "$STATUS" -eq 0 ]; then
+      echo "shard_smoke: FAIL — coordinator exited 0 after worker SIGKILL" >&2
+      exit 1
+    fi
+    echo "shard_smoke: coordinator failed as expected (status $STATUS)," \
+         "resuming from checkpoints"
+  else
+    echo "shard_smoke: workers finished before the kill; continuing"
+  fi
+  "$BIN" "${COMMON[@]}" --shards "$SHARDS" --checkpoint "$WORK/ck" --resume \
+    --out "$WORK/sharded.json" >/dev/null
+else
+  echo "shard_smoke: coordinator with $SHARDS workers"
+  "$BIN" "${COMMON[@]}" --shards "$SHARDS" --checkpoint "$WORK/ck" \
+    --out "$WORK/sharded.json" >/dev/null
+fi
+
+cmp "$WORK/ref.json" "$WORK/sharded.json"
+echo "shard_smoke: sharded output byte-identical to single process"
+
+"$BIN" merge --reps "$REPS" --seed "$SEED" --format json \
+  --shards "$SHARDS" --checkpoint "$WORK/ck" \
+  --out "$WORK/merged.json" >/dev/null
+cmp "$WORK/ref.json" "$WORK/merged.json"
+echo "shard_smoke: merge subcommand output byte-identical to single process"
+
+if command -v python3 >/dev/null 2>&1; then
+  python3 "$TOOLS_DIR/bench_diff.py" --strict \
+    "$WORK/ref.json" "$WORK/merged.json"
+else
+  echo "shard_smoke: python3 not found; skipping bench_diff --strict check"
+fi
+
+echo "shard_smoke: OK"
