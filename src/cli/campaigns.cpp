@@ -26,10 +26,12 @@
 #include "msg/bus.hpp"
 #include "road/builder.hpp"
 #include "sim/world.hpp"
+#include "util/mutex.hpp"
 #include "util/proc.hpp"
 #include "util/rng.hpp"
 #include "util/serial.hpp"
 #include "util/stopwatch.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace scaa::cli {
 
@@ -217,16 +219,25 @@ void reject_slice_file_collisions(
 exp::CampaignProgressFn decile_progress(std::ostream* out,
                                         const std::string& tag) {
   if (out == nullptr) return {};
-  auto last_decile = std::make_shared<int>(-1);
-  return [out, tag, last_decile](const exp::CampaignProgress& p) {
+  // The callback is invoked from campaign worker threads. The streaming
+  // runner serializes its progress callbacks, but that is the caller's
+  // discipline, not this closure's — so the decile bookkeeping carries its
+  // own annotated lock and stays correct under any caller.
+  struct DecileState {
+    util::Mutex mutex;
+    int last_decile SCAA_GUARDED_BY(mutex) = -1;
+  };
+  auto state = std::make_shared<DecileState>();
+  return [out, tag, state](const exp::CampaignProgress& p) {
     if (p.total == 0 || p.completed == 0) return;
     const int decile = static_cast<int>(10 * p.completed / p.total);
     // Print only when a new decile is crossed, and track the latest one so
     // a chunk that crosses several deciles emits a single line. completed
     // == total lands in decile 10, so the 100% line prints exactly once —
     // including for campaigns that finish within one chunk.
-    if (decile <= *last_decile) return;
-    *last_decile = decile;
+    const util::MutexLock lock(state->mutex);
+    if (decile <= state->last_decile) return;
+    state->last_decile = decile;
     *out << "[" << tag << "] " << p.completed << "/" << p.total << " sims\n"
          << std::flush;
   };
@@ -784,7 +795,12 @@ void add_shard_scaling_rows(Report& report, const CampaignOptions& options,
   double tput_1 = 0.0;
   for (const int workers : {1, 2, 4, 8}) {
     CampaignOptions o = options;
-    o.checkpoint = (dir / ("p" + std::to_string(workers))).string();
+    // Built with += rather than `"p" + std::to_string(...)`: the rvalue
+    // operator+ chain trips GCC 12's -Wrestrict false positive
+    // (PR105329) at -O2+, which breaks -Werror builds on that compiler.
+    std::string slice = "p";
+    slice += std::to_string(workers);
+    o.checkpoint = (dir / slice).string();
     o.resume = false;
     o.shards = workers;
     o.threads = 1;
