@@ -115,8 +115,9 @@ TEST(ShardPlan, PartitionsChunksExactly) {
       }
       EXPECT_EQ(next_chunk, n_chunks);    // full coverage
       EXPECT_EQ(total_items, n_items);    // item accounting matches
-      if (n_chunks > 0)
+      if (n_chunks > 0) {
         EXPECT_LE(max_chunks - min_chunks, 1u);  // balanced within one chunk
+      }
     }
   }
 }
