@@ -27,7 +27,7 @@ void WorldArena::run_items(std::span<const CampaignItem> items,
 
 std::unique_ptr<WorldArena> ArenaPool::acquire() {
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const util::MutexLock lock(mutex_);
     if (!free_.empty()) {
       std::unique_ptr<WorldArena> arena = std::move(free_.back());
       free_.pop_back();
@@ -38,7 +38,7 @@ std::unique_ptr<WorldArena> ArenaPool::acquire() {
 }
 
 void ArenaPool::release(std::unique_ptr<WorldArena> arena) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   free_.push_back(std::move(arena));
 }
 

@@ -16,12 +16,13 @@
 
 #include <cstddef>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <vector>
 
 #include "exp/campaign.hpp"
 #include "sim/world_batch.hpp"
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace scaa::exp {
 
@@ -76,11 +77,11 @@ class ArenaPool {
 
  private:
   friend class Lease;
-  std::unique_ptr<WorldArena> acquire();
-  void release(std::unique_ptr<WorldArena> arena);
+  std::unique_ptr<WorldArena> acquire() SCAA_EXCLUDES(mutex_);
+  void release(std::unique_ptr<WorldArena> arena) SCAA_EXCLUDES(mutex_);
 
-  std::mutex mutex_;
-  std::vector<std::unique_ptr<WorldArena>> free_;
+  util::Mutex mutex_;
+  std::vector<std::unique_ptr<WorldArena>> free_ SCAA_GUARDED_BY(mutex_);
 };
 
 }  // namespace scaa::exp

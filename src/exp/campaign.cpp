@@ -3,15 +3,16 @@
 #include <algorithm>
 #include <array>
 #include <atomic>
-#include <mutex>
 #include <stdexcept>
 #include <string>
 
 #include "exp/arena.hpp"
 #include "exp/checkpoint.hpp"
 #include "road/builder.hpp"
+#include "util/mutex.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace scaa::exp {
 
@@ -90,17 +91,41 @@ namespace {
 /// runner can abort outstanding work and rethrow once the pool drains
 /// (letting an exception escape a pool task would terminate the process).
 struct CommitErrors {
-  std::mutex mutex;
-  std::string first;
+  util::Mutex mutex;
+  std::string first SCAA_GUARDED_BY(mutex);
   std::atomic<bool> failed{false};
 
-  void capture(const std::exception& e) {
-    const std::lock_guard<std::mutex> lock(mutex);
+  void capture(const std::exception& e) SCAA_EXCLUDES(mutex) {
+    const util::MutexLock lock(mutex);
     if (first.empty()) first = e.what();
     failed.store(true, std::memory_order_release);
   }
-  void rethrow_if_failed() {
-    if (failed.load(std::memory_order_acquire)) throw CheckpointError(first);
+  void rethrow_if_failed() SCAA_EXCLUDES(mutex) {
+    if (!failed.load(std::memory_order_acquire)) return;
+    // The pool has drained by the time this runs, but take the lock anyway:
+    // `first` is guarded, and an uncontended lock costs nothing here.
+    const util::MutexLock lock(mutex);
+    throw CheckpointError(first);
+  }
+};
+
+/// Progress bookkeeping shared by the streaming runner's workers: the
+/// cumulative completed-simulation count and the user callback invocation
+/// are both serialized by one mutex, so callbacks observe monotonically
+/// non-decreasing counts.
+struct ProgressCounter {
+  util::Mutex mutex;
+  std::size_t completed SCAA_GUARDED_BY(mutex) = 0;
+
+  void start_at(std::size_t restored) SCAA_EXCLUDES(mutex) {
+    const util::MutexLock lock(mutex);
+    completed = restored;
+  }
+  void advance(std::size_t delta, std::size_t total,
+               const CampaignProgressFn& progress) SCAA_EXCLUDES(mutex) {
+    const util::MutexLock lock(mutex);
+    completed += delta;
+    progress(CampaignProgress{completed, total});
   }
 };
 
@@ -316,16 +341,16 @@ Aggregate run_campaign_streaming(const std::vector<CampaignItem>& items,
       progress(CampaignProgress{restored, range_items});
   }
 
-  std::mutex progress_mutex;
-  std::size_t completed = restored;
+  ProgressCounter counter;
+  counter.start_at(restored);
   ArenaPool arenas;
   CommitErrors errors;
   {
     ThreadPool pool(config.threads);
     for (std::size_t c = range_begin; c < range_end; ++c) {
       if (checkpoint != nullptr && checkpoint->chunk_complete(c)) continue;
-      pool.submit([&items, &assets, &partials, &progress, &progress_mutex,
-                   &completed, &arenas, checkpoint, &errors, c, range_items] {
+      pool.submit([&items, &assets, &partials, &progress, &counter, &arenas,
+                   checkpoint, &errors, c, range_items] {
         if (errors.failed.load(std::memory_order_acquire)) return;
         const std::size_t begin = c * kCampaignChunk;
         const std::size_t end =
@@ -350,11 +375,7 @@ Aggregate run_campaign_streaming(const std::vector<CampaignItem>& items,
             return;
           }
         }
-        if (progress) {
-          const std::lock_guard<std::mutex> lock(progress_mutex);
-          completed += end - begin;
-          progress(CampaignProgress{completed, range_items});
-        }
+        if (progress) counter.advance(end - begin, range_items, progress);
       });
     }
     pool.wait_idle();

@@ -11,10 +11,11 @@
 #include <filesystem>
 #include <fstream>
 #include <functional>
-#include <mutex>
 #include <string_view>
 
+#include "util/mutex.hpp"
 #include "util/serial.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace scaa::exp {
 
@@ -239,19 +240,38 @@ using ChunkParser = std::function<void(
     const std::vector<std::string_view>& tokens)>;
 
 struct CheckpointCore {
+  // Set once before open() and immutable afterwards; safe to read from any
+  // thread without the mutex.
   std::string path;
   std::string mode;
   std::uint64_t fingerprint = 0;
   std::size_t n_items = 0;
   std::size_t n_chunks = 0;
-  std::vector<char> complete;       // one flag per chunk
-  std::size_t restored_chunks = 0;  // complete at construction time
-  std::size_t restored_items = 0;
-  int fd = -1;
-  std::mutex mutex;
+  int fd = -1;  ///< written only inside open()/open_read_only()
+
+  /// Guards the commit path: the per-chunk completion flags and the
+  /// restored-progress counters, plus serialization of file appends
+  /// (commit() is called concurrently from pool workers).
+  mutable util::Mutex mutex;
+  std::vector<char> complete SCAA_GUARDED_BY(mutex);  // one flag per chunk
+  std::size_t restored_chunks SCAA_GUARDED_BY(mutex) = 0;
+  std::size_t restored_items SCAA_GUARDED_BY(mutex) = 0;
 
   ~CheckpointCore() {
     if (fd >= 0) ::close(fd);
+  }
+
+  bool is_complete(std::size_t chunk) const SCAA_EXCLUDES(mutex) {
+    const util::MutexLock lock(mutex);
+    return chunk < complete.size() && complete[chunk] != 0;
+  }
+  std::size_t restored_chunk_count() const SCAA_EXCLUDES(mutex) {
+    const util::MutexLock lock(mutex);
+    return restored_chunks;
+  }
+  std::size_t restored_item_count() const SCAA_EXCLUDES(mutex) {
+    const util::MutexLock lock(mutex);
+    return restored_items;
   }
 
   std::size_t chunk_items(std::size_t chunk) const noexcept {
@@ -301,7 +321,8 @@ struct CheckpointCore {
 
   /// Parse an existing file's contents. Returns the byte offset just past
   /// the last valid line (everything after is a torn tail to truncate).
-  std::size_t load(std::string_view contents, const ChunkParser& parser) {
+  std::size_t load(std::string_view contents, const ChunkParser& parser)
+      SCAA_REQUIRES(mutex) {
     std::size_t offset = 0;
     std::size_t valid_end = 0;
     bool saw_header = false;
@@ -333,7 +354,8 @@ struct CheckpointCore {
     return valid_end;
   }
 
-  void apply_chunk_record(std::string_view payload, const ChunkParser& parser) {
+  void apply_chunk_record(std::string_view payload, const ChunkParser& parser)
+      SCAA_REQUIRES(mutex) {
     auto tokens = split(payload, ' ');
     std::string_view v;
     std::uint64_t chunk = 0;
@@ -353,8 +375,11 @@ struct CheckpointCore {
 
   /// Open (and if needed create/repair) the file; loads existing records
   /// through @p parser. Implements the resume semantics documented on the
-  /// checkpoint classes.
-  void open(bool resume, const ChunkParser& parser) {
+  /// checkpoint classes. Runs during construction, before the core is
+  /// shared with workers, but takes the lock anyway: load() mutates the
+  /// guarded completion state, and construction is not a hot path.
+  void open(bool resume, const ChunkParser& parser) SCAA_EXCLUDES(mutex) {
+    const util::MutexLock lock(mutex);
     complete.assign(n_chunks, 0);
 
     // Create missing parent directories so a stem like `runs/t4` works on
@@ -408,7 +433,8 @@ struct CheckpointCore {
   /// a torn tail is tolerated but NOT repaired (this side never writes),
   /// and the exclusive flock is still taken so reading a slice out from
   /// under a live writer fails cleanly.
-  void open_read_only(const ChunkParser& parser) {
+  void open_read_only(const ChunkParser& parser) SCAA_EXCLUDES(mutex) {
+    const util::MutexLock lock(mutex);
     complete.assign(n_chunks, 0);
 
     fd = ::open(path.c_str(), O_RDONLY);
@@ -436,7 +462,7 @@ struct CheckpointCore {
       fail(path, "no valid header (torn write or not a checkpoint file)");
   }
 
-  void append_line(const std::string& line) {
+  void append_line(const std::string& line) SCAA_REQUIRES(mutex) {
     const char* data = line.data();
     std::size_t left = line.size();
     while (left > 0) {
@@ -467,8 +493,9 @@ struct CheckpointCore {
   }
 
   /// Thread-safe durable append of one chunk record.
-  void commit_payload(std::size_t chunk, const std::string& payload) {
-    const std::lock_guard<std::mutex> lock(mutex);
+  void commit_payload(std::size_t chunk, const std::string& payload)
+      SCAA_EXCLUDES(mutex) {
+    const util::MutexLock lock(mutex);
     if (chunk >= n_chunks)
       fail(path, "commit: chunk index out of range");
     if (complete[chunk])
@@ -562,16 +589,14 @@ std::size_t CampaignCheckpoint::chunk_count() const noexcept {
   return impl_->core.n_chunks;
 }
 std::size_t CampaignCheckpoint::completed_chunks() const noexcept {
-  return impl_->core.restored_chunks;
+  return impl_->core.restored_chunk_count();
 }
 std::size_t CampaignCheckpoint::completed_items() const noexcept {
-  return impl_->core.restored_items;
+  return impl_->core.restored_item_count();
 }
 
 bool CampaignCheckpoint::chunk_complete(std::size_t chunk) const {
-  const CheckpointCore& core = impl_->core;
-  return chunk < core.n_chunks && core.complete[chunk] != 0 &&
-         chunk < impl_->records.size();
+  return impl_->core.is_complete(chunk) && chunk < impl_->records.size();
 }
 
 AggregateAccumulator CampaignCheckpoint::restored(std::size_t chunk) const {
@@ -626,15 +651,14 @@ std::size_t CampaignCheckpointReader::chunk_count() const noexcept {
   return impl_->core.n_chunks;
 }
 std::size_t CampaignCheckpointReader::completed_chunks() const noexcept {
-  return impl_->core.restored_chunks;
+  return impl_->core.restored_chunk_count();
 }
 std::size_t CampaignCheckpointReader::completed_items() const noexcept {
-  return impl_->core.restored_items;
+  return impl_->core.restored_item_count();
 }
 
 bool CampaignCheckpointReader::chunk_complete(std::size_t chunk) const {
-  const CheckpointCore& core = impl_->core;
-  return chunk < core.n_chunks && core.complete[chunk] != 0;
+  return impl_->core.is_complete(chunk);
 }
 
 const AggregateAccumulatorRecord& CampaignCheckpointReader::record(
@@ -694,15 +718,14 @@ std::size_t ResultsCheckpoint::chunk_count() const noexcept {
   return impl_->core.n_chunks;
 }
 std::size_t ResultsCheckpoint::completed_chunks() const noexcept {
-  return impl_->core.restored_chunks;
+  return impl_->core.restored_chunk_count();
 }
 std::size_t ResultsCheckpoint::completed_items() const noexcept {
-  return impl_->core.restored_items;
+  return impl_->core.restored_item_count();
 }
 
 bool ResultsCheckpoint::chunk_complete(std::size_t chunk) const {
-  const CheckpointCore& core = impl_->core;
-  return chunk < core.n_chunks && core.complete[chunk] != 0;
+  return impl_->core.is_complete(chunk);
 }
 
 void ResultsCheckpoint::restore_into(
@@ -713,7 +736,7 @@ void ResultsCheckpoint::restore_into(
                         std::to_string(results.size()) + " != grid size " +
                         std::to_string(core.n_items));
   for (std::size_t c = 0; c < core.n_chunks; ++c) {
-    if (!core.complete[c]) continue;
+    if (!core.is_complete(c)) continue;
     const std::size_t begin = c * kCampaignChunk;
     const std::size_t end = std::min(core.n_items, begin + kCampaignChunk);
     for (std::size_t i = begin; i < end; ++i)

@@ -16,7 +16,7 @@ ThreadPool::ThreadPool(std::size_t threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const util::MutexLock lock(mutex_);
     stop_ = true;
   }
   cv_task_.notify_all();
@@ -25,7 +25,7 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::submit(std::function<void()> task) {
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const util::MutexLock lock(mutex_);
     if (stop_) throw std::runtime_error("ThreadPool: submit after shutdown");
     queue_.push(std::move(task));
   }
@@ -33,27 +33,26 @@ void ThreadPool::submit(std::function<void()> task) {
 }
 
 void ThreadPool::wait_idle() {
-  std::unique_lock<std::mutex> lock(mutex_);
-  cv_idle_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
+  const util::MutexLock lock(mutex_);
+  while (!queue_.empty() || in_flight_ != 0) cv_idle_.wait(mutex_);
 }
 
 void ThreadPool::worker_loop() {
   while (true) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      cv_task_.wait(lock, [this] { return stop_ || !queue_.empty(); });
-      if (queue_.empty()) {
-        if (stop_) return;
-        continue;
-      }
+      const util::MutexLock lock(mutex_);
+      while (!stop_ && queue_.empty()) cv_task_.wait(mutex_);
+      // The predicate loop exits with the lock held and either work queued
+      // or shutdown requested; drain the queue fully before honoring stop.
+      if (queue_.empty()) return;
       task = std::move(queue_.front());
       queue_.pop();
       ++in_flight_;
     }
     task();
     {
-      const std::lock_guard<std::mutex> lock(mutex_);
+      const util::MutexLock lock(mutex_);
       --in_flight_;
       if (queue_.empty() && in_flight_ == 0) cv_idle_.notify_all();
     }

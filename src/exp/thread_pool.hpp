@@ -3,20 +3,23 @@
 /// @file thread_pool.hpp
 /// Fixed-size worker pool for fanning out independent simulations.
 
-#include <condition_variable>
 #include <cstddef>
 #include <functional>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
+
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace scaa::exp {
 
 /// A minimal work-stealing-free thread pool. Tasks are void() closures;
 /// results travel through the closures themselves (the campaign layer
 /// pre-allocates one result slot per simulation so no synchronization is
-/// needed beyond the queue).
+/// needed beyond the queue). All queue and lifecycle state is guarded by
+/// one mutex, and the guard relationships are thread-safety-annotated so
+/// the clang CI leg proves the lock discipline at compile time.
 class ThreadPool {
  public:
   /// Spin up @p threads workers (>= 1; pass 0 for hardware concurrency).
@@ -29,24 +32,24 @@ class ThreadPool {
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   /// Enqueue a task. Throws std::runtime_error after shutdown started.
-  void submit(std::function<void()> task);
+  void submit(std::function<void()> task) SCAA_EXCLUDES(mutex_);
 
   /// Block until all submitted tasks have run.
-  void wait_idle();
+  void wait_idle() SCAA_EXCLUDES(mutex_);
 
   /// Number of worker threads.
   std::size_t size() const noexcept { return workers_.size(); }
 
  private:
-  void worker_loop();
+  void worker_loop() SCAA_EXCLUDES(mutex_);
 
-  std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> queue_;
-  std::mutex mutex_;
-  std::condition_variable cv_task_;
-  std::condition_variable cv_idle_;
-  std::size_t in_flight_ = 0;
-  bool stop_ = false;
+  std::vector<std::thread> workers_;  ///< written only in ctor/dtor
+  util::Mutex mutex_;
+  util::CondVar cv_task_;
+  util::CondVar cv_idle_;
+  std::queue<std::function<void()>> queue_ SCAA_GUARDED_BY(mutex_);
+  std::size_t in_flight_ SCAA_GUARDED_BY(mutex_) = 0;
+  bool stop_ SCAA_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace scaa::exp

@@ -2,14 +2,19 @@
 
 #include <atomic>
 #include <iostream>
-#include <mutex>
+
+#include "util/mutex.hpp"
 
 namespace scaa::util {
 
 namespace {
 
 std::atomic<LogLevel> g_level{LogLevel::kInfo};
-std::mutex g_mutex;
+
+/// Serializes the stderr sink so concurrent log lines cannot interleave.
+/// The stream itself is a global we cannot annotate; the discipline is
+/// "every write to std::cerr in this TU happens under g_mutex".
+Mutex g_mutex;
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -29,7 +34,7 @@ LogLevel log_level() noexcept { return g_level.load(); }
 
 void log_line(LogLevel level, const std::string& message) {
   if (static_cast<int>(level) < static_cast<int>(g_level.load())) return;
-  const std::lock_guard<std::mutex> lock(g_mutex);
+  const MutexLock lock(g_mutex);
   std::cerr << '[' << level_name(level) << "] " << message << '\n';
 }
 

@@ -1,0 +1,90 @@
+#pragma once
+
+/// @file thread_annotations.hpp
+/// Clang Thread Safety Analysis annotation macros.
+///
+/// The campaign layer's reproducibility guarantees (bit-identical Welford
+/// moments at any thread count, crash-safe checkpoint commits) depend on a
+/// lock discipline that — before this header — was enforced only by
+/// convention and runtime sanitizers. These macros make the discipline a
+/// compile-time contract: every lock-protected structure names its
+/// capability, every guarded field names its lock, and the clang CI leg
+/// builds with -Wthread-safety -Werror so a violation is a build break,
+/// not a flaky TSan report.
+///
+/// Under clang the macros expand to the thread-safety attributes
+/// (https://clang.llvm.org/docs/ThreadSafetyAnalysis.html); under any other
+/// compiler they expand to nothing, so gcc builds are unaffected. Use them
+/// through util::Mutex / util::MutexLock (util/mutex.hpp) — std::mutex in
+/// libstdc++ carries no capability annotations, so guarding a field with a
+/// bare std::mutex would silence the analysis instead of arming it.
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define SCAA_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef SCAA_THREAD_ANNOTATION
+#define SCAA_THREAD_ANNOTATION(x)  // no-op off clang
+#endif
+
+/// Marks a class as a capability (lockable). The string names the
+/// capability kind in diagnostics, e.g. "mutex".
+#define SCAA_CAPABILITY(x) SCAA_THREAD_ANNOTATION(capability(x))
+
+/// Marks an RAII class whose constructor acquires and destructor releases
+/// a capability.
+#define SCAA_SCOPED_CAPABILITY SCAA_THREAD_ANNOTATION(scoped_lockable)
+
+/// Field may only be accessed while holding the given capability.
+#define SCAA_GUARDED_BY(x) SCAA_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointer field: the *pointee* may only be accessed while holding the
+/// given capability (the pointer itself is unguarded).
+#define SCAA_PT_GUARDED_BY(x) SCAA_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Declares a required lock-acquisition order between capabilities.
+#define SCAA_ACQUIRED_BEFORE(...) \
+  SCAA_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define SCAA_ACQUIRED_AFTER(...) \
+  SCAA_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+
+/// Function requires the capability to be held on entry (and does not
+/// release it).
+#define SCAA_REQUIRES(...) \
+  SCAA_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define SCAA_REQUIRES_SHARED(...) \
+  SCAA_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+
+/// Function acquires the capability and holds it past return.
+#define SCAA_ACQUIRE(...) \
+  SCAA_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define SCAA_ACQUIRE_SHARED(...) \
+  SCAA_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+
+/// Function releases the capability (which must be held on entry).
+#define SCAA_RELEASE(...) \
+  SCAA_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define SCAA_RELEASE_SHARED(...) \
+  SCAA_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+
+/// Function attempts acquisition; the first argument is the return value
+/// that means "acquired".
+#define SCAA_TRY_ACQUIRE(...) \
+  SCAA_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+/// Caller must NOT hold the capability (deadlock guard for public entry
+/// points that lock internally).
+#define SCAA_EXCLUDES(...) SCAA_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Runtime assertion that the capability is held (for code paths the
+/// static analysis cannot follow).
+#define SCAA_ASSERT_CAPABILITY(x) SCAA_THREAD_ANNOTATION(assert_capability(x))
+
+/// Function returns a reference to the given capability.
+#define SCAA_RETURN_CAPABILITY(x) SCAA_THREAD_ANNOTATION(lock_returned(x))
+
+/// Escape hatch: disables the analysis for one function. Every use must
+/// carry a comment explaining why the discipline cannot be expressed.
+#define SCAA_NO_THREAD_SAFETY_ANALYSIS \
+  SCAA_THREAD_ANNOTATION(no_thread_safety_analysis)

@@ -1,0 +1,28 @@
+// scaa-lint-fixture: as=src/exp/hatch_demo.cpp expect=nondeterminism,naked-accumulation
+//
+// Unhatched twin of escape_hatch_ok.cpp: identical code minus the
+// `// scaa-lint: allow(...)` comments, so both rules must fire. Also
+// checks that a hatch for one rule does not bleed into another: the
+// allow(stray-output) comment below names the wrong rule and must not
+// suppress the rand() finding on the next line.
+//
+// NOT COMPILED: lint fixture only; tools/scaa_lint.py --self-test reads it.
+#include <cstdlib>
+#include <vector>
+
+namespace scaa::exp {
+
+int unhatched_jitter() {
+  // scaa-lint: allow(stray-output)
+  return std::rand() % 7;  // flagged: wrong-rule hatch does not apply
+}
+
+double unhatched_sum(const std::vector<double>& xs) {
+  double sum = 0.0;
+  for (double v : xs) {
+    sum += v;              // flagged: no hatch
+  }
+  return sum;
+}
+
+}  // namespace scaa::exp

@@ -1,0 +1,27 @@
+// scaa-lint-fixture: as=src/exp/hatch_demo.cpp expect=none
+//
+// Escape-hatch coverage: each site below would trigger a rule, but a
+// `// scaa-lint: allow(<rule>)` comment on the same line or the line
+// immediately above suppresses exactly that rule at exactly that site.
+// The unhatched twin is escape_hatch_bad.cpp (same code, no comments).
+//
+// NOT COMPILED: lint fixture only; tools/scaa_lint.py --self-test reads it.
+#include <cstdlib>
+#include <vector>
+
+namespace scaa::exp {
+
+int hatched_jitter() {
+  return std::rand() % 7;  // scaa-lint: allow(nondeterminism)
+}
+
+double hatched_sum(const std::vector<double>& xs) {
+  double sum = 0.0;
+  for (double v : xs) {
+    // scaa-lint: allow(naked-accumulation)
+    sum += v;
+  }
+  return sum;
+}
+
+}  // namespace scaa::exp

@@ -1,0 +1,33 @@
+// scaa-lint-fixture: as=src/exp/moment_fold.cpp expect=naked-accumulation
+//
+// Ad-hoc floating-point accumulation loops in an aggregation path: the
+// result depends on iteration order, which breaks the fixed chunk-order
+// bit-identity guarantee. Both the += form and the x = x + form must be
+// flagged. Campaign statistics fold through util::RunningStats /
+// exp::AggregateAccumulator instead.
+//
+// NOT COMPILED: lint fixture only; tools/scaa_lint.py --self-test reads it.
+#include <cstddef>
+#include <vector>
+
+namespace scaa::exp {
+
+double naked_sum(const std::vector<double>& xs) {
+  double sum = 0.0;
+  for (double v : xs) {
+    sum += v;                    // flagged: += accumulation in loop
+  }
+  return sum;
+}
+
+double naked_mean(const std::vector<double>& xs) {
+  double total = 0.0;
+  std::size_t i = 0;
+  while (i < xs.size()) {
+    total = total + xs[i];       // flagged: x = x + accumulation in loop
+    ++i;
+  }
+  return xs.empty() ? 0.0 : total / static_cast<double>(xs.size());
+}
+
+}  // namespace scaa::exp

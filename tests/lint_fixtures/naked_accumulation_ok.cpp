@@ -1,0 +1,44 @@
+// scaa-lint-fixture: as=src/exp/moment_fold.cpp expect=none
+//
+// Clean twin of naked_accumulation_bad.cpp: statistics fold through an
+// accumulator type (Welford-style add()), integer counters may accumulate
+// freely, and straight-line double arithmetic outside loops is fine.
+//
+// NOT COMPILED: lint fixture only; tools/scaa_lint.py --self-test reads it.
+#include <cstddef>
+#include <vector>
+
+namespace scaa::exp {
+
+struct RunningStatsLike {
+  std::size_t n = 0;
+  double mean = 0.0;
+  void add(double x) {
+    ++n;
+    mean += (x - mean) / static_cast<double>(n);  // inside the accumulator
+  }
+};
+
+double folded_mean(const std::vector<double>& xs) {
+  RunningStatsLike stats;
+  for (double v : xs) {
+    stats.add(v);                // blessed: accumulator type does the fold
+  }
+  return stats.mean;
+}
+
+std::size_t count_above(const std::vector<double>& xs, double cut) {
+  std::size_t hits = 0;
+  for (double v : xs) {
+    if (v > cut) hits += 1;      // integer accumulation: fine
+  }
+  return hits;
+}
+
+double straight_line(double a, double b) {
+  double acc = a;
+  acc += b;                      // not in a loop: fine
+  return acc;
+}
+
+}  // namespace scaa::exp

@@ -1,0 +1,21 @@
+// scaa-lint-fixture: as=src/cli/bench_main.cpp expect=none
+//
+// Layer-scoping check: the CLI layer is blessed for wall-clock and
+// environment access (bench wall_s columns, seeds from argv / env), so the
+// very same calls that nondeterminism_bad.cpp trips on are clean here.
+//
+// NOT COMPILED: lint fixture only; tools/scaa_lint.py --self-test reads it.
+#include <cstdlib>
+#include <ctime>
+
+namespace scaa::cli {
+
+long wall_stamp() {
+  return std::time(nullptr);     // blessed: src/cli/ may read the clock
+}
+
+const char* thread_override() {
+  return std::getenv("SCAA_THREADS");  // blessed: CLI env knob
+}
+
+}  // namespace scaa::cli

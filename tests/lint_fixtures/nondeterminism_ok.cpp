@@ -1,0 +1,36 @@
+// scaa-lint-fixture: as=src/sim/entropy.cpp expect=none
+//
+// Clean twin of nondeterminism_bad.cpp: seeded RNG use plus the look-alike
+// identifiers the rule must NOT flag — a nullary member named time(), its
+// declaration, and suffixed names like runtime()/randomize_with_seed().
+//
+// NOT COMPILED: lint fixture only; tools/scaa_lint.py --self-test reads it.
+#include <cstdint>
+
+namespace scaa::sim {
+
+struct World {
+  double time_ = 0.0;
+  double time() const { return time_; }  // declaration: not libc time()
+};
+
+struct Rng {
+  std::uint64_t state;
+  explicit Rng(std::uint64_t seed) : state(seed) {}
+  std::uint64_t next() {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return state;
+  }
+};
+
+double sample(World* world, Rng& rng) {
+  const double now = world->time();       // member call: not libc time()
+  return now + static_cast<double>(rng.next() >> 40);
+}
+
+double runtime() { return 0.0; }          // suffix: not time()
+std::uint64_t randomize_with_seed(Rng& rng) { return rng.next(); }
+
+}  // namespace scaa::sim

@@ -1,0 +1,16 @@
+// scaa-lint-fixture: as=src/cli/report_main.cpp expect=none
+//
+// Layer-scoping check: the CLI layer owns stdout (reports, bench tables),
+// so std::cout here is clean even though stray_output_bad.cpp trips on it.
+//
+// NOT COMPILED: lint fixture only; tools/scaa_lint.py --self-test reads it.
+#include <iostream>
+#include <string>
+
+namespace scaa::cli {
+
+void emit_report_row(const std::string& row) {
+  std::cout << row << '\n';  // blessed: CLI owns machine-parsed stdout
+}
+
+}  // namespace scaa::cli

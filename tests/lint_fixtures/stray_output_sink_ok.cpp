@@ -1,0 +1,17 @@
+// scaa-lint-fixture: as=src/util/logging.cpp expect=none
+//
+// The one legal std::cerr writer: util/logging's serialized sink. The
+// stray-output rule blesses exactly this TU for std::cerr (std::cout and
+// the printf family stay banned even here — this fixture uses neither).
+//
+// NOT COMPILED: lint fixture only; tools/scaa_lint.py --self-test reads it.
+#include <iostream>
+#include <string>
+
+namespace scaa::util {
+
+void sink_line(const std::string& line) {
+  std::cerr << line << '\n';  // blessed: the serialized logging sink
+}
+
+}  // namespace scaa::util

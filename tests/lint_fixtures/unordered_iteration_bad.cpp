@@ -1,0 +1,37 @@
+// scaa-lint-fixture: as=src/exp/bucket_fold.cpp expect=unordered-iteration
+//
+// Aggregation-path iteration over std::unordered_* containers: iteration
+// order varies by hash seed and libstdc++ version, so these folds emit
+// run-to-run different bytes. Both the range-for and the explicit
+// .begin() loop must be flagged.
+//
+// NOT COMPILED: lint fixture only; tools/scaa_lint.py --self-test reads it.
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace scaa::exp {
+
+struct BucketFold {
+  std::unordered_map<std::uint32_t, double> by_id_;
+  std::unordered_set<std::uint32_t> seen_;
+
+  double fold() const {
+    double acc = 0.0;
+    for (const auto& kv : by_id_) {   // flagged: range-for over unordered
+      acc = kv.second;
+    }
+    return acc;
+  }
+
+  std::vector<std::uint32_t> dump() const {
+    std::vector<std::uint32_t> out;
+    for (auto it = seen_.begin(); it != seen_.end(); ++it) {  // flagged
+      out.push_back(*it);
+    }
+    return out;
+  }
+};
+
+}  // namespace scaa::exp

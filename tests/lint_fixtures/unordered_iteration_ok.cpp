@@ -1,0 +1,40 @@
+// scaa-lint-fixture: as=src/exp/bucket_fold.cpp expect=none
+//
+// Clean twin of unordered_iteration_bad.cpp: unordered containers used
+// only for O(1) lookup (fine), with all iteration going over ordered
+// std::map / index loops (deterministic order).
+//
+// NOT COMPILED: lint fixture only; tools/scaa_lint.py --self-test reads it.
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+namespace scaa::exp {
+
+struct BucketFold {
+  std::unordered_map<std::uint32_t, double> cache_;  // lookup only
+  std::map<std::uint32_t, double> by_id_;            // ordered: iterable
+
+  bool cached(std::uint32_t id) const {
+    return cache_.find(id) != cache_.end();  // find/end lookup, no loop
+  }
+
+  double fold() const {
+    double last = 0.0;
+    for (const auto& kv : by_id_) {  // ordered map: deterministic order
+      last = kv.second;
+    }
+    return last;
+  }
+
+  double pick(const std::vector<double>& xs, std::size_t stride) const {
+    double last = 0.0;
+    for (std::size_t i = 0; i < xs.size(); i += stride) {  // index loop
+      last = xs[i];
+    }
+    return last;
+  }
+};
+
+}  // namespace scaa::exp

@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# One-command local run of the static gates, mirroring the CI lint job:
+#
+#   tools/check.sh [build-dir]
+#
+#   1. configure (if needed) so compile_commands.json exists
+#   2. scaa_lint --self-test   (rule engine vs tests/lint_fixtures/)
+#   3. scaa_lint over the tree (via compile_commands.json)
+#   4. clang-tidy over the tree, if run-clang-tidy is installed
+#      (skipped with a note otherwise — the CI lint job always runs it)
+#
+# Exit is non-zero on any finding. Escape hatches, in order of preference:
+# fix the code; `// scaa-lint: allow(<rule>)` at a single deliberate site;
+# a justified file-level entry in tools/scaa_lint_allowlist.txt.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-${repo_root}/build}"
+
+if [[ ! -f "${build_dir}/compile_commands.json" ]]; then
+  echo "check.sh: configuring ${build_dir} (compile_commands.json missing)"
+  cmake -S "${repo_root}" -B "${build_dir}" >/dev/null
+fi
+
+echo "== scaa_lint --self-test =="
+python3 "${repo_root}/tools/scaa_lint.py" --self-test
+
+echo "== scaa_lint (tree) =="
+python3 "${repo_root}/tools/scaa_lint.py" \
+  --compile-commands "${build_dir}/compile_commands.json"
+
+if command -v run-clang-tidy >/dev/null 2>&1; then
+  echo "== clang-tidy =="
+  run-clang-tidy -p "${build_dir}" -quiet "${repo_root}/src/"
+else
+  echo "== clang-tidy: run-clang-tidy not installed, skipped (CI runs it) =="
+fi
+
+echo "check.sh: all gates passed"
