@@ -2,8 +2,10 @@
 
 #include <chrono>
 #include <cmath>
+#include <csignal>
 #include <fstream>
 #include <iostream>
+#include <limits>
 #include <map>
 #include <memory>
 #include <optional>
@@ -14,12 +16,14 @@
 #include <filesystem>
 #include <thread>
 
+#include <signal.h>
 #include <unistd.h>
 
 #include "cli/args.hpp"
 #include "exp/campaign.hpp"
 #include "exp/checkpoint.hpp"
 #include "exp/param_space.hpp"
+#include "exp/realtime.hpp"
 #include "exp/shard.hpp"
 #include "exp/tables.hpp"
 #include "geom/polyline.hpp"
@@ -322,6 +326,47 @@ void run_table4_worker_slices(const std::vector<Table4Slice>& slices,
   }
 }
 
+/// Set by the coordinator's SIGINT/SIGTERM handler, read by the mux loop.
+/// sig_atomic_t and a handler that only stores are the whole async-signal
+/// contract; everything else happens on the main thread afterwards.
+volatile std::sig_atomic_t g_coordinator_signal = 0;
+
+void coordinator_signal_handler(int sig) { g_coordinator_signal = sig; }
+
+/// Scoped SIGINT/SIGTERM forwarding for the sharded coordinator. Without
+/// it, killing the coordinator orphans workers that keep running and
+/// holding their slice-file flocks, so an immediate `--resume` fails with
+/// "another process holds this checkpoint". Handlers are installed without
+/// SA_RESTART (poll in LineMux::run must see EINTR and re-check the flag)
+/// and the previous dispositions are restored on scope exit, so nested
+/// campaign runs (bench's shard-scaling rows) stack cleanly.
+class CoordinatorSignalGuard {
+ public:
+  CoordinatorSignalGuard() {
+    g_coordinator_signal = 0;
+    struct sigaction action {};
+    action.sa_handler = &coordinator_signal_handler;
+    ::sigemptyset(&action.sa_mask);
+    action.sa_flags = 0;  // no SA_RESTART
+    ::sigaction(SIGINT, &action, &old_int_);
+    ::sigaction(SIGTERM, &action, &old_term_);
+  }
+  ~CoordinatorSignalGuard() {
+    ::sigaction(SIGINT, &old_int_, nullptr);
+    ::sigaction(SIGTERM, &old_term_, nullptr);
+  }
+  CoordinatorSignalGuard(const CoordinatorSignalGuard&) = delete;
+  CoordinatorSignalGuard& operator=(const CoordinatorSignalGuard&) = delete;
+
+  int received() const noexcept {
+    return static_cast<int>(g_coordinator_signal);
+  }
+
+ private:
+  struct sigaction old_int_ {};
+  struct sigaction old_term_ {};
+};
+
 /// Coordinator: fork options.shards workers, multiplex their pipe progress
 /// into one decile display, reap, and merge the slice files. The merged
 /// aggregates are bit-identical to one in-process run (see exp/shard.hpp).
@@ -352,10 +397,21 @@ ShardedRun run_table4_sharded(const CampaignOptions& options,
   const auto start = std::chrono::steady_clock::now();
   if (progress) progress->flush();  // nothing buffered crosses the fork
 
+  // From here until the reap loop below, SIGINT/SIGTERM no longer kill the
+  // coordinator outright: the signal is recorded, forwarded to every live
+  // worker, and the workers are reaped before we exit — so their slice
+  // flocks are released and an immediate `--resume` works.
+  CoordinatorSignalGuard signal_guard;
+
   std::vector<util::ForkedWorker> workers;
   workers.reserve(shard_count);
   for (std::size_t s = 0; s < shard_count; ++s) {
     workers.push_back(util::fork_worker([&, s](int fd) {
+      // The child inherits the coordinator's record-only handler; restore
+      // the default disposition so a forwarded SIGINT/SIGTERM actually
+      // terminates the worker (its completed chunks are checkpointed).
+      ::signal(SIGINT, SIG_DFL);
+      ::signal(SIGTERM, SIG_DFL);
       try {
         run_table4_worker_slices(slices, options, worker_cc, s, shard_count,
                                  [fd](std::size_t completed) {
@@ -396,7 +452,13 @@ ShardedRun run_table4_sharded(const CampaignOptions& options,
     note(progress, "[table4 " + std::to_string(shard_count) + " shards] " +
                        std::to_string(sum) + "/" + std::to_string(total_items) +
                        " sims");
-  });
+  }, [] { return g_coordinator_signal != 0; });
+
+  // Forward a recorded SIGINT/SIGTERM to every worker before reaping.
+  // ESRCH (already exited) is fine — wait_child below still collects it.
+  const int received = signal_guard.received();
+  if (received != 0)
+    for (const util::ForkedWorker& w : workers) ::kill(w.pid, received);
 
   std::string failures;
   for (std::size_t s = 0; s < workers.size(); ++s) {
@@ -406,6 +468,14 @@ ShardedRun run_table4_sharded(const CampaignOptions& options,
     failures += "shard " + std::to_string(s + 1) + "/" +
                 std::to_string(shard_count) + " " + status.describe();
   }
+  if (received != 0)
+    throw std::runtime_error(
+        std::string("interrupted by ") +
+        (received == SIGINT ? "SIGINT" : "SIGTERM") + ": forwarded to all " +
+        std::to_string(workers.size()) +
+        " workers and reaped them (slice files are released) — completed "
+        "chunks are checkpointed; rerun the same command with --resume to "
+        "finish");
   if (!failures.empty())
     throw std::runtime_error(
         failures +
@@ -753,6 +823,41 @@ void add_world_reset_kernel_row(Report& report, std::ostream* progress) {
                      " in-place resets in " + std::to_string(wall) + " s");
 }
 
+/// The `realtime_jitter` row of BENCH_table4.json: one simulated second of
+/// the attack-free S1 run under the 100 Hz deadline executor
+/// (exp/realtime.hpp). Column reuse: "simulations" holds the tick count,
+/// sims_per_s the achieved tick rate, sims_with_alerts the overrun count,
+/// lane_invasion_rate_mean the mean tick latency [us], tth_mean/tth_std the
+/// wake-jitter mean/std [us], and `efficiency` the miss fraction. Unlike
+/// the kernel rows, every cell here is wall-clock-derived by nature, so
+/// bench_diff.py lists the row in NONDETERMINISTIC_ROWS — advisory in
+/// --strict runs, never gating.
+void add_realtime_jitter_row(Report& report, std::ostream* progress) {
+  exp::CampaignItem item;
+  item.strategy = attack::StrategyKind::kNone;
+  item.scenario_id = 1;
+  item.initial_gap = 100.0;
+  item.seed = 2022;
+  sim::WorldConfig cfg = exp::world_config_for(item);
+  cfg.duration = 1.0;  // 100 ticks at the paper rig's 100 Hz
+
+  sim::World world(cfg);
+  const auto start = std::chrono::steady_clock::now();
+  const exp::RealtimeReport rt =
+      exp::run_realtime(world, exp::RealtimeConfig{});
+  const double wall = util::seconds_since(start);
+
+  report.add_row(
+      {std::string("realtime_jitter"), ll(rt.ticks), wall,
+       wall > 0.0 ? static_cast<double>(rt.ticks) / wall : 0.0,
+       ll(rt.overruns), 0LL, 0LL, 0LL, 0LL,
+       rt.phases.empty() ? 0.0 : rt.phases[0].latency_s.mean() * 1e6,
+       rt.wake_error_s.mean() * 1e6, rt.wake_error_s.stddev() * 1e6,
+       rt.miss_fraction()});
+  note(progress, "[bench] realtime_jitter: " + std::to_string(rt.ticks) +
+                     " ticks, " + std::to_string(rt.overruns) + " overruns");
+}
+
 }  // namespace
 
 namespace {
@@ -882,6 +987,7 @@ Report bench_report(const CampaignOptions& options, std::ostream* progress) {
   add_project_kernel_row(report, progress);
   add_bus_kernel_row(report, progress);
   add_world_reset_kernel_row(report, progress);
+  add_realtime_jitter_row(report, progress);
   // The sharded aggregates are checked bit-exact against the strategy rows
   // above, so the same bench invocation that records throughput also
   // proves the coordinator/worker/merge path reproduces the campaign.
@@ -937,6 +1043,112 @@ Report fig8_report(const CampaignOptions& options, std::ostream* progress) {
   return report;
 }
 
+namespace {
+
+/// Render the nonzero bins of a latency histogram as "<lo>us:<count>"
+/// pairs, space-joined — compact enough for one report cell, detailed
+/// enough to read the distribution shape (the last bin clamps, so its
+/// count means "at or beyond this budget").
+std::string hist_cell(const util::Histogram& hist) {
+  std::string cell;
+  for (std::size_t b = 0; b < hist.bins(); ++b) {
+    if (hist.bin_count(b) == 0) continue;
+    if (!cell.empty()) cell += ' ';
+    cell += std::to_string(std::llround(hist.bin_lo(b)));
+    cell += "us:";
+    cell += std::to_string(hist.bin_count(b));
+  }
+  return cell;
+}
+
+/// The `summary` row both run modes emit. Every cell derives from the
+/// SimulationSummary and the tick count alone — never from the wall clock —
+/// so a --realtime run's summary row is byte-identical to the free-running
+/// one on the same seed (the acceptance gate the Realtime CLI test holds).
+void add_run_summary_row(Report& report, const sim::SimulationSummary& s,
+                         std::size_t ticks) {
+  report.add_row({std::string("summary"), ll(ticks), 0.0, 0.0, 0LL, 0.0,
+                  std::string(), s.any_hazard, s.any_accident,
+                  ll(s.alert_events), ll(s.fcw_events), ll(s.lane_invasions),
+                  s.lane_invasion_rate, s.tth, s.sim_end_time});
+}
+
+}  // namespace
+
+Report run_report(const CampaignOptions& options, std::ostream* progress) {
+  exp::CampaignItem item;
+  item.strategy = attack::StrategyKind::kNone;
+  item.scenario_id = options.scenario;
+  item.initial_gap = 100.0;
+  item.seed = options.seed;
+
+  sim::WorldConfig cfg = exp::world_config_for(item);
+  cfg.duration = options.duration;
+  sim::World world(cfg);
+
+  std::optional<exp::FifoTap> tap;
+  if (!options.tap_fifo.empty()) {
+    note(progress, "[run] tap: opening " + options.tap_fifo +
+                       " (a FIFO blocks here until a reader attaches)");
+    tap.emplace(world.message_bus(), options.tap_fifo);
+  }
+
+  Report report(
+      "run: one simulation, free-running or --realtime deadline-clocked",
+      {"row", "count", "mean_us", "max_us", "overruns", "miss_fraction",
+       "hist_us", "any_hazard", "any_accident", "alert_events", "fcw_events",
+       "lane_invasions", "lane_invasion_rate", "tth", "sim_end_time"});
+
+  if (!options.realtime) {
+    // Mirror the realtime executor's loop structure exactly (count every
+    // step() invocation, including the final one that returns false) so
+    // the two modes' summary rows carry the identical tick count.
+    std::size_t ticks = 0;
+    bool running = !world.finished();
+    while (running) {
+      running = world.step();
+      ++ticks;
+    }
+    add_run_summary_row(report, world.summarize(), ticks);
+    note(progress,
+         "[run] free-running: " + std::to_string(ticks) + " ticks");
+  } else {
+    exp::RealtimeConfig rc;
+    rc.period_s = options.period_s;
+    const exp::RealtimeReport rt = exp::run_realtime(world, rc);
+    add_run_summary_row(report, rt.summary, rt.ticks);
+    for (const exp::PhaseStats& phase : rt.phases) {
+      std::string label = "phase:";
+      label += phase.name;
+      report.add_row({std::move(label), ll(phase.latency_s.count()),
+                      phase.latency_s.mean() * 1e6,
+                      phase.latency_s.max() * 1e6, 0LL, 0.0,
+                      hist_cell(phase.hist_us), false, false, 0LL, 0LL, 0LL,
+                      0.0, 0.0, 0.0});
+    }
+    report.add_row({std::string("deadline"), ll(rt.ticks),
+                    rt.wake_error_s.mean() * 1e6, rt.wake_error_s.max() * 1e6,
+                    ll(rt.overruns), rt.miss_fraction(), std::string(), false,
+                    false, 0LL, 0LL, 0LL, 0.0, 0.0, 0.0});
+    note(progress, "[run] realtime: " + std::to_string(rt.ticks) +
+                       " ticks at " + std::to_string(1.0 / rt.period_s) +
+                       " Hz, " + std::to_string(rt.overruns) + " overruns");
+    if (rt.miss_fraction() > options.miss_budget)
+      throw MissBudgetError(
+          "realtime miss budget exceeded: " + std::to_string(rt.overruns) +
+              "/" + std::to_string(rt.ticks) +
+              " ticks overran their deadline (miss fraction " +
+              std::to_string(rt.miss_fraction()) + " > budget " +
+              std::to_string(options.miss_budget) + ")",
+          std::move(report));
+  }
+  if (tap)
+    note(progress, "[run] tap: " + std::to_string(tap->frames_streamed()) +
+                       " frames streamed" +
+                       (tap->broken() ? " (reader hung up early)" : ""));
+  return report;
+}
+
 const std::vector<CampaignCommand>& campaign_commands() {
   static const std::vector<CampaignCommand> kCommands = {
       {"table4", "Table IV",
@@ -957,6 +1169,11 @@ const std::vector<CampaignCommand>& campaign_commands() {
        "into the exact Table IV report, byte-identical to a single-process "
        "run",
        &table4_merge_report},
+      {"run", "Fig. 5 rig",
+       "one simulation: free-running, or --realtime deadline-clocked with "
+       "per-subsystem latency/jitter/overrun accounting; --tap-fifo streams "
+       "live wire frames to an external eavesdropper",
+       &run_report},
   };
   return kCommands;
 }
@@ -984,6 +1201,24 @@ bool parse_shard_spec(const std::string& spec, int& index, int& count) {
   if (n < 1 || n > 1024 || i < 1 || i > n) return false;
   index = i - 1;
   count = n;
+  return true;
+}
+
+/// Checked long long -> int narrowing for parsed flags. ArgParser's bounds
+/// already keep every current flag well inside int's range, but the cast
+/// sites must not silently depend on that coupling: a bound widened past
+/// 2^31 would otherwise truncate (e.g. --reps 4294967297 -> 1) and run the
+/// wrong campaign without a word. On failure the caller exits 2.
+bool narrowed_int(const ArgParser& args, const std::string& flag, int& out,
+                  const std::string& cmd_name, std::ostream& err) {
+  const long long v = args.get_int(flag);
+  if (v < std::numeric_limits<int>::min() ||
+      v > std::numeric_limits<int>::max()) {
+    err << "scaa_campaign " << cmd_name << ": " << flag << " value " << v
+        << " does not fit in int (would truncate)\n";
+    return false;
+  }
+  out = static_cast<int>(v);
   return true;
 }
 
@@ -1018,6 +1253,7 @@ int run_campaign_command(const std::string& name,
       cmd->run == &bench_report;
   const bool shardable = cmd->run == &table4_report;
   const bool is_merge = cmd->run == &table4_merge_report;
+  const bool is_run = cmd->run == &run_report;
   if (checkpointable) {
     args.add_string("--checkpoint", "",
                     "crash-safe checkpoint path stem; each campaign slice "
@@ -1049,6 +1285,23 @@ int run_campaign_command(const std::string& name,
     args.add_choice("--campaign", "table4", {"table4", "table5", "fig8"},
                     "which campaign to time (emits BENCH_<campaign>.json "
                     "rows)");
+  if (is_run) {
+    args.add_bool("--realtime",
+                  "pin each tick to an absolute deadline clock and report "
+                  "per-subsystem latency/jitter/overrun histograms (the "
+                  "deterministic summary row stays byte-identical to a "
+                  "free-running run)");
+    args.add_double("--period", 0.01,
+                    "tick deadline period in seconds (requires --realtime)");
+    args.add_double("--miss-budget", 1.0,
+                    "max tolerated overrun fraction in [0, 1]; exceeding it "
+                    "writes the report and exits 3 (requires --realtime)");
+    args.add_string("--tap-fifo", "",
+                    "stream live wire frames over this FIFO (created when "
+                    "absent; the open blocks until a reader attaches)");
+    args.add_int("--scenario", 1, "paper scenario (1-4)", 1, 4);
+    args.add_double("--duration", 50.0, "simulated seconds (paper: 50)");
+  }
 
   try {
     args.parse_tokens(tokens);
@@ -1062,11 +1315,12 @@ int run_campaign_command(const std::string& name,
   }
 
   CampaignOptions options;
-  options.reps = static_cast<int>(args.get_int("--reps"));
+  if (!narrowed_int(args, "--reps", options.reps, cmd->name, err)) return 2;
   options.threads = static_cast<std::size_t>(args.get_int("--threads"));
   options.seed = args.get_uint("--seed");
-  if (cmd->run == &fig7_report)
-    options.decimate = static_cast<int>(args.get_int("--decimate"));
+  if (cmd->run == &fig7_report &&
+      !narrowed_int(args, "--decimate", options.decimate, cmd->name, err))
+    return 2;
   if (checkpointable) {
     options.checkpoint = args.get_string("--checkpoint");
     options.resume = args.get_bool("--resume");
@@ -1078,7 +1332,8 @@ int run_campaign_command(const std::string& name,
     }
   }
   if (shardable) {
-    options.shards = static_cast<int>(args.get_int("--shards"));
+    if (!narrowed_int(args, "--shards", options.shards, cmd->name, err))
+      return 2;
     const std::string& shard_spec = args.get_string("--shard");
     if (!shard_spec.empty() &&
         !parse_shard_spec(shard_spec, options.shard_index,
@@ -1105,7 +1360,8 @@ int run_campaign_command(const std::string& name,
     }
   }
   if (is_merge) {
-    options.shards = static_cast<int>(args.get_int("--shards"));
+    if (!narrowed_int(args, "--shards", options.shards, cmd->name, err))
+      return 2;
     options.checkpoint = args.get_string("--checkpoint");
     if (options.checkpoint.empty()) {
       err << "scaa_campaign " << cmd->name
@@ -1127,6 +1383,42 @@ int run_campaign_command(const std::string& name,
       return 2;
     }
   }
+  if (is_run) {
+    options.realtime = args.get_bool("--realtime");
+    options.period_s = args.get_double("--period");
+    options.miss_budget = args.get_double("--miss-budget");
+    options.tap_fifo = args.get_string("--tap-fifo");
+    if (!narrowed_int(args, "--scenario", options.scenario, cmd->name, err))
+      return 2;
+    options.duration = args.get_double("--duration");
+    if (!options.realtime &&
+        (args.provided("--period") || args.provided("--miss-budget"))) {
+      err << "scaa_campaign " << cmd->name
+          << ": --period and --miss-budget require --realtime\n"
+          << args.usage();
+      return 2;
+    }
+    // The negated-range form keeps NaN out too (every comparison with NaN
+    // is false, so the `!` rejects it).
+    if (!(options.period_s >= 1e-6 && options.period_s <= 10.0)) {
+      err << "scaa_campaign " << cmd->name
+          << ": --period must be in [1e-6, 10] seconds\n"
+          << args.usage();
+      return 2;
+    }
+    if (!(options.miss_budget >= 0.0 && options.miss_budget <= 1.0)) {
+      err << "scaa_campaign " << cmd->name
+          << ": --miss-budget must be a fraction in [0, 1]\n"
+          << args.usage();
+      return 2;
+    }
+    if (!(options.duration > 0.0 && options.duration <= 86400.0)) {
+      err << "scaa_campaign " << cmd->name
+          << ": --duration must be in (0, 86400] seconds\n"
+          << args.usage();
+      return 2;
+    }
+  }
   const Format format = parse_format(args.get_string("--format"));
 
   // Open the sink before running: campaigns can take hours at paper scale,
@@ -1145,8 +1437,15 @@ int run_campaign_command(const std::string& name,
   // A checkpoint refusal/corruption (or any campaign failure) must be a
   // clean diagnostic + nonzero exit, not a std::terminate in main().
   std::optional<Report> report_holder;
+  bool miss_budget_exceeded = false;
   try {
     report_holder.emplace(cmd->run(options, &err));
+  } catch (const MissBudgetError& e) {
+    // The simulation completed and the report is intact: write it anyway,
+    // then exit 3 so scripts can tell "budget missed" from a failed run.
+    err << "scaa_campaign " << cmd->name << ": " << e.what() << "\n";
+    report_holder.emplace(e.report);
+    miss_budget_exceeded = true;
   } catch (const std::exception& e) {
     err << "scaa_campaign " << cmd->name << ": " << e.what() << "\n";
     return 1;
@@ -1159,7 +1458,7 @@ int run_campaign_command(const std::string& name,
     report.write(file, format);
     err << "[" << cmd->name << "] report written to " << out_path << "\n";
   }
-  return 0;
+  return miss_budget_exceeded ? 3 : 0;
 }
 
 }  // namespace scaa::cli

@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <iosfwd>
+#include <stdexcept>
 #include <string>
 #include <utility>
 #include <vector>
@@ -113,6 +114,13 @@ struct CampaignOptions {
   int shards = 0;        ///< table4/merge: worker processes (0/1 = off)
   int shard_index = -1;  ///< manual --shard i/N worker: 0-based slice index
   int shard_count = 0;   ///< manual --shard i/N worker: fleet size (0 = off)
+  // `run` only:
+  bool realtime = false;    ///< pin ticks to the deadline clock
+  double period_s = 0.01;   ///< realtime tick period (100 Hz)
+  double miss_budget = 1.0; ///< max tolerated overrun fraction (1 = never fail)
+  std::string tap_fifo;     ///< stream WireFrame bytes here; empty = no tap
+  int scenario = 1;         ///< paper scenario id (1..4)
+  double duration = 50.0;   ///< simulated seconds
 };
 
 /// Filesystem-safe slice token: "Random-ST+DUR" -> "random-st-dur".
@@ -206,6 +214,31 @@ Report fig8_report(const CampaignOptions& options, std::ostream* progress);
 /// records a benchmark trajectory point.
 Report bench_report(const CampaignOptions& options, std::ostream* progress);
 
+/// `scaa_campaign run`: one simulation through the single-sim executor,
+/// free-running by default or deadline-clocked with --realtime. The report
+/// always carries a "summary" row whose cells are deterministic functions
+/// of (scenario, seed, duration) — byte-identical between the two modes,
+/// because the deadline clock only decides when ticks fire, never what
+/// they compute. --realtime adds wall-clock-derived rows: one "phase:*"
+/// row per instrumented subsystem (mean/max latency + histogram) and a
+/// "deadline" row (wake jitter, overrun count, miss fraction). A non-empty
+/// options.tap_fifo streams live WireFrame bytes there via exp::FifoTap.
+///
+/// Miss-budget exit policy: when the realtime overrun fraction exceeds
+/// options.miss_budget, throws MissBudgetError carrying the finished
+/// report — run_campaign_command still writes it, then exits 3.
+Report run_report(const CampaignOptions& options, std::ostream* progress);
+
+/// Thrown by run_report when --realtime misses more than --miss-budget
+/// allows. Carries the report so the CLI can write it before failing.
+class MissBudgetError : public std::runtime_error {
+ public:
+  MissBudgetError(const std::string& what, Report report_in)
+      : std::runtime_error(what), report(std::move(report_in)) {}
+
+  Report report;
+};
+
 /// One registered scaa_campaign subcommand.
 struct CampaignCommand {
   std::string name;         ///< subcommand token, e.g. "table4"
@@ -222,7 +255,8 @@ const CampaignCommand* find_campaign_command(const std::string& name);
 
 /// Parse flags and run one subcommand end to end: report goes to @p out in
 /// the chosen --format, progress/errors go to @p err. Returns the process
-/// exit code (0 ok, 2 usage error).
+/// exit code (0 ok, 2 usage error, 3 realtime miss budget exceeded —
+/// the report is still written in that case).
 int run_campaign_command(const std::string& name,
                          const std::vector<std::string>& tokens,
                          std::ostream& out, std::ostream& err);

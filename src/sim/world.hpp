@@ -28,6 +28,10 @@
 #include "sim/trace.hpp"
 #include "vehicle/vehicle.hpp"
 
+namespace scaa::exp {
+class RealtimeExecutor;  // drives the tick phases under a deadline clock
+}
+
 namespace scaa::sim {
 
 /// Physical disturbances acting on the Ego (road crown, crosswind,
@@ -189,6 +193,10 @@ class World {
 
  private:
   friend class WorldBatch;
+  // The realtime executor runs the exact step() phase sequence with a
+  // timestamp at each boundary (exp/realtime.hpp); it feeds no clock value
+  // into any phase, so its runs stay bit-identical to free-running ones.
+  friend class exp::RealtimeExecutor;
 
   void publish_sensors(double road_curvature, double road_heading);
   void record(Trace* trace, const vehicle::ActuatorCommand& cmd);

@@ -1,0 +1,87 @@
+#include "util/deadline_clock.hpp"
+
+#include <cerrno>
+#include <cmath>
+#include <stdexcept>
+
+#include <time.h>
+
+namespace scaa::util {
+
+namespace {
+
+constexpr long long kNsPerS = 1'000'000'000;
+
+std::timespec monotonic_now() noexcept {
+  std::timespec now{};
+  ::clock_gettime(CLOCK_MONOTONIC, &now);
+  return now;
+}
+
+void add_ns(std::timespec& ts, long long ns) noexcept {
+  ts.tv_nsec += static_cast<long>(ns % kNsPerS);
+  ts.tv_sec += static_cast<time_t>(ns / kNsPerS);
+  if (ts.tv_nsec >= kNsPerS) {
+    ts.tv_nsec -= kNsPerS;
+    ts.tv_sec += 1;
+  }
+}
+
+/// a - b in seconds.
+double diff_s(const std::timespec& a, const std::timespec& b) noexcept {
+  return static_cast<double>(a.tv_sec - b.tv_sec) +
+         1e-9 * static_cast<double>(a.tv_nsec - b.tv_nsec);
+}
+
+}  // namespace
+
+double monotonic_now_s() noexcept {
+  const std::timespec now = monotonic_now();
+  return static_cast<double>(now.tv_sec) +
+         1e-9 * static_cast<double>(now.tv_nsec);
+}
+
+DeadlineClock::DeadlineClock(double period_s) : period_s_(period_s) {
+  if (!std::isfinite(period_s) || period_s <= 0.0)
+    throw std::invalid_argument(
+        "DeadlineClock: period must be finite and positive");
+  period_ns_ = static_cast<long long>(period_s * 1e9);
+  if (period_ns_ < 1) period_ns_ = 1;
+}
+
+void DeadlineClock::start() {
+  deadline_ = monotonic_now();
+  add_ns(deadline_, period_ns_);
+  armed_ = true;
+}
+
+DeadlineClock::Tick DeadlineClock::wait_next() {
+  if (!armed_) start();
+
+  Tick tick;
+  std::timespec now = monotonic_now();
+  tick.slack_s = diff_s(deadline_, now);
+  tick.overrun = tick.slack_s < 0.0;
+
+  if (tick.overrun) {
+    // The deadline already passed while the work ran: don't sleep, and
+    // re-phase the schedule past `now` so one long stall is one overrun.
+    tick.wake_error_s = -tick.slack_s;
+    const auto periods_behind =
+        static_cast<long long>(-tick.slack_s * 1e9 / period_ns_) + 1;
+    add_ns(deadline_, periods_behind * period_ns_);
+    return tick;
+  }
+
+  while (::clock_nanosleep(CLOCK_MONOTONIC, TIMER_ABSTIME, &deadline_,
+                           nullptr) == EINTR) {
+  }
+  now = monotonic_now();
+  // clock_nanosleep never wakes early; any positive error is scheduler lag.
+  tick.wake_error_s = -diff_s(deadline_, now);
+  if (tick.wake_error_s < 0.0) tick.wake_error_s = 0.0;
+  add_ns(deadline_, period_ns_);
+  return tick;
+}
+
+}  // namespace scaa::util

@@ -1,0 +1,76 @@
+#pragma once
+
+/// @file deadline_clock.hpp
+/// Absolute-deadline ticker for the real-time executor.
+///
+/// This file is the one blessed wall-clock source outside `util/rng` and
+/// the CLI layer (tools/scaa_lint.py enforces it): simulation and campaign
+/// code must stay clock-free so aggregates are bit-identical run to run.
+/// The real-time executor is the exception by construction — it reads the
+/// clock only to decide *when* a tick fires and how late it ran, never to
+/// feed a value into the simulation, so determinism is preserved (see
+/// exp/realtime.hpp).
+///
+/// The schedule is absolute, RROS-style (`kernel/rros/sched.rs` deadline
+/// class): each tick's deadline is `start + n * period` on CLOCK_MONOTONIC,
+/// slept to with clock_nanosleep(TIMER_ABSTIME). Sleeping to absolute
+/// deadlines (instead of relative `period - elapsed` waits) keeps the tick
+/// rate phase-locked: latency in one tick does not shift every later
+/// deadline, and jitter does not accumulate.
+
+#include <ctime>
+
+namespace scaa::util {
+
+/// Seconds on CLOCK_MONOTONIC. Only differences are meaningful (the epoch
+/// is boot-time-ish and unspecified); the realtime executor uses it for
+/// per-phase latency spans so every clock read stays in this file.
+double monotonic_now_s() noexcept;
+
+/// Fixed-period absolute-deadline ticker.
+///
+///   DeadlineClock clock(0.01);  // 100 Hz
+///   clock.start();
+///   while (work()) {
+///     const auto tick = clock.wait_next();  // sleep to the next deadline
+///     if (tick.overrun) ++misses;
+///   }
+class DeadlineClock {
+ public:
+  /// @p period_s must be finite and positive (throws std::invalid_argument).
+  explicit DeadlineClock(double period_s);
+
+  /// Anchor the schedule: the first deadline is now + period. wait_next()
+  /// calls this lazily if the caller didn't.
+  void start();
+
+  /// Accounting for one deadline wait.
+  struct Tick {
+    /// deadline - completion time of the preceding work: positive slack
+    /// means the tick fit its budget; negative means it overran by that
+    /// much.
+    double slack_s = 0.0;
+    /// actual wake time - deadline. For a met deadline this is the
+    /// sleep/scheduler jitter (>= 0); for an overrun it equals -slack_s
+    /// (the tick "woke" when the late work finished).
+    double wake_error_s = 0.0;
+    bool overrun = false;
+  };
+
+  /// Block until the current absolute deadline (no sleep if it already
+  /// passed), then advance the schedule by one period. After a stall
+  /// longer than one period the schedule skips forward in phase to the
+  /// first future deadline — one long tick counts as one overrun, not one
+  /// per missed period.
+  Tick wait_next();
+
+  double period_s() const noexcept { return period_s_; }
+
+ private:
+  double period_s_;
+  long long period_ns_;
+  std::timespec deadline_{};
+  bool armed_ = false;
+};
+
+}  // namespace scaa::util

@@ -9,6 +9,8 @@
 #include <cstring>
 #include <system_error>
 
+#include "util/logging.hpp"
+
 namespace scaa::util {
 
 namespace {
@@ -33,21 +35,25 @@ PipeFds make_pipe() {
   return p;
 }
 
-bool write_line(int fd, std::string_view line) noexcept {
-  std::string framed(line);
-  framed += '\n';
-  const char* data = framed.data();
-  std::size_t left = framed.size();
+bool write_all(int fd, const void* data, std::size_t size) noexcept {
+  const char* p = static_cast<const char*>(data);
+  std::size_t left = size;
   while (left > 0) {
-    const ssize_t n = ::write(fd, data, left);
+    const ssize_t n = ::write(fd, p, left);
     if (n < 0) {
       if (errno == EINTR) continue;
       return false;  // EPIPE and friends: reader gone, keep working
     }
-    data += n;
+    p += n;
     left -= static_cast<std::size_t>(n);
   }
   return true;
+}
+
+bool write_line(int fd, std::string_view line) noexcept {
+  std::string framed(line);
+  framed += '\n';
+  return write_all(fd, framed.data(), framed.size());
 }
 
 std::string ExitStatus::describe() const {
@@ -101,27 +107,37 @@ ForkedWorker fork_worker(const std::function<int(int progress_fd)>& body) {
 }
 
 LineMux::LineMux(std::vector<int> fds)
-    : fds_(std::move(fds)), buffers_(fds_.size()) {}
+    : fds_(std::move(fds)),
+      buffers_(fds_.size()),
+      scanned_(fds_.size(), 0) {}
 
 void LineMux::run(
-    const std::function<void(std::size_t, std::string_view)>& on_line) {
+    const std::function<void(std::size_t, std::string_view)>& on_line,
+    const std::function<bool()>& interrupted) {
   std::vector<bool> open(fds_.size(), true);
   std::size_t open_count = fds_.size();
   std::vector<struct pollfd> pfds(fds_.size());
 
+  // Single-pass drain: scanned_[i] marks how far the buffer is known
+  // newline-free, so each arriving byte is examined once no matter how
+  // many tiny writes delivered it.
   auto flush_lines = [&](std::size_t i) {
     std::string& buf = buffers_[i];
     std::size_t begin = 0;
+    std::size_t search = scanned_[i];
     for (;;) {
-      const std::size_t eol = buf.find('\n', begin);
+      const std::size_t eol = buf.find('\n', search);
       if (eol == std::string::npos) break;
       on_line(i, std::string_view(buf).substr(begin, eol - begin));
       begin = eol + 1;
+      search = begin;
     }
     buf.erase(0, begin);
+    scanned_[i] = buf.size();
   };
 
   while (open_count > 0) {
+    if (interrupted && interrupted()) return;
     std::size_t n = 0;
     for (std::size_t i = 0; i < fds_.size(); ++i) {
       if (!open[i]) continue;
@@ -132,7 +148,7 @@ void LineMux::run(
     }
     const int ready = ::poll(pfds.data(), n, -1);
     if (ready < 0) {
-      if (errno == EINTR) continue;
+      if (errno == EINTR) continue;  // interrupted() is re-checked above
       throw std::system_error(errno, std::generic_category(), "poll");
     }
     std::size_t slot = 0;
@@ -146,11 +162,19 @@ void LineMux::run(
         buffers_[i].append(chunk, static_cast<std::size_t>(got));
         flush_lines(i);
       } else if (got == 0 || (got < 0 && errno != EINTR)) {
-        // EOF (or a hard error, which we treat as EOF: the worker's exit
-        // status is the authoritative failure signal).
+        // EOF, or a hard error that closes the slot like EOF — but say so:
+        // the worker's exit status is the authoritative failure signal,
+        // yet a silent ECONNRESET/EBADF here would leave a truncated
+        // progress stream unexplained.
+        if (got < 0) {
+          SCAA_LOG_WARN() << "LineMux: read error on fd " << p.fd << " ("
+                          << std::strerror(errno)
+                          << "); closing the slot like EOF";
+        }
         if (!buffers_[i].empty()) {
           on_line(i, buffers_[i]);
           buffers_[i].clear();
+          scanned_[i] = 0;
         }
         open[i] = false;
         --open_count;

@@ -8,7 +8,9 @@
 /// wrappers over fork(2)/pipe(2)/poll(2)/waitpid(2): no exec, no shell,
 /// no signals machinery beyond ignoring SIGPIPE in workers — a worker
 /// whose coordinator died keeps running (its results are checkpointed;
-/// a later `merge` picks them up) instead of dying on a pipe write.
+/// a later `merge` picks them up) instead of dying on a pipe write. The
+/// coordinator's own SIGINT/SIGTERM forwarding lives in the campaign
+/// layer; LineMux only offers the interruption hook it needs.
 ///
 /// fork-without-exec is safe here because the coordinator forks before it
 /// creates any threads: campaign thread pools are scoped to a run, and the
@@ -63,6 +65,12 @@ struct PipeFds {
 };
 PipeFds make_pipe();
 
+/// Write all @p size bytes of @p data to @p fd, retrying on EINTR and
+/// short writes. Returns false on any other error (errno is preserved for
+/// the caller to report). Callers must ignore SIGPIPE if the fd can be a
+/// pipe whose reader may vanish.
+bool write_all(int fd, const void* data, std::size_t size) noexcept;
+
 /// Write @p line plus a trailing '\n' to @p fd, retrying on EINTR and
 /// short writes. Returns false (instead of throwing) when the reader is
 /// gone (EPIPE) or the write fails otherwise — progress reporting must
@@ -100,16 +108,29 @@ ForkedWorker fork_worker(const std::function<int(int progress_fd)>& body);
 /// Poll-based line demultiplexer over a set of pipe read ends: run()
 /// blocks until every fd reaches EOF, invoking on_line(index, line) for
 /// each complete '\n'-terminated line in arrival order (a final unterminated
-/// fragment is delivered at EOF). The fds are borrowed, not owned.
+/// fragment is delivered at EOF). A hard read error on one fd closes that
+/// slot like EOF — after logging the errno (the worker's exit status is the
+/// authoritative failure signal) and after delivering any buffered
+/// fragment. The fds are borrowed, not owned.
 class LineMux {
  public:
   explicit LineMux(std::vector<int> fds);
 
-  void run(const std::function<void(std::size_t, std::string_view)>& on_line);
+  /// @p interrupted (optional) is checked each loop iteration and after
+  /// every EINTR-interrupted poll: returning true makes run() return early
+  /// with slots still open — the hook a signal-forwarding coordinator uses
+  /// to stop multiplexing and go kill its workers (its handler makes the
+  /// predicate true and the signal itself makes poll return EINTR).
+  void run(const std::function<void(std::size_t, std::string_view)>& on_line,
+           const std::function<bool()>& interrupted = {});
 
  private:
   std::vector<int> fds_;
   std::vector<std::string> buffers_;
+  /// Per-buffer index up to which no '\n' exists: each arriving chunk is
+  /// scanned exactly once, so a pathological newline-free flood of tiny
+  /// writes costs O(bytes), not O(bytes^2) whole-buffer rescans.
+  std::vector<std::size_t> scanned_;
 };
 
 }  // namespace scaa::util

@@ -1,0 +1,24 @@
+// scaa-lint-fixture: as=src/util/deadline_clock.cpp expect=none
+//
+// Blessed twin of nondeterminism_clock_bad.cpp: the same clock_gettime /
+// clock_nanosleep calls are clean when the file lives in the blessed
+// deadline-clock layer (src/util/deadline_clock.*) — the one wall-clock
+// source the real-time executor is allowed, whose values pace ticks but
+// never feed the simulation.
+//
+// NOT COMPILED: lint fixture only; tools/scaa_lint.py --self-test reads it.
+#include <ctime>
+
+namespace scaa::util {
+
+double blessed_now_s() {
+  timespec ts{};
+  clock_gettime(CLOCK_MONOTONIC, &ts);  // clean: blessed layer
+  return static_cast<double>(ts.tv_sec) + 1e-9 * ts.tv_nsec;
+}
+
+void blessed_sleep_until(const timespec& deadline) {
+  ::clock_nanosleep(CLOCK_MONOTONIC, TIMER_ABSTIME, &deadline, nullptr);
+}
+
+}  // namespace scaa::util

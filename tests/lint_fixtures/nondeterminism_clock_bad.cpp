@@ -1,0 +1,25 @@
+// scaa-lint-fixture: as=src/sim/tick_timer.cpp expect=nondeterminism
+//
+// POSIX clock calls in simulation library code: a wall-clock read or a
+// deadline sleep anywhere inside sim/exp breaks the pure-function-of-seed
+// contract the campaign statistics rest on. Real-time pacing must go
+// through util::DeadlineClock (the blessed src/util/deadline_clock.*
+// layer), which never leaks a clock value into simulation state.
+//
+// NOT COMPILED: lint fixture only; tools/scaa_lint.py --self-test reads it.
+#include <ctime>
+
+namespace scaa::sim {
+
+double wall_now_s() {
+  timespec ts{};
+  clock_gettime(CLOCK_MONOTONIC, &ts);  // flagged: clock read in sim code
+  return static_cast<double>(ts.tv_sec) + 1e-9 * ts.tv_nsec;
+}
+
+void nap_until(const timespec& deadline) {
+  // flagged: deadline sleeps belong to util::DeadlineClock, not sim code
+  ::clock_nanosleep(CLOCK_MONOTONIC, TIMER_ABSTIME, &deadline, nullptr);
+}
+
+}  // namespace scaa::sim

@@ -165,7 +165,7 @@ TEST(Report, FormatRoundTrip) {
 }
 
 TEST(Campaigns, RegistryCoversThePaperArtifacts) {
-  for (const char* name : {"table4", "table5", "fig7", "fig8"}) {
+  for (const char* name : {"table4", "table5", "fig7", "fig8", "run"}) {
     const auto* cmd = cli::find_campaign_command(name);
     ASSERT_NE(cmd, nullptr) << name;
     EXPECT_FALSE(cmd->paper_ref.empty());
@@ -203,6 +203,23 @@ TEST(Campaigns, MalformedFlagFailsLoudly) {
                                       err),
             2);
   EXPECT_NE(err.str().find("--reps"), std::string::npos);
+}
+
+TEST(Campaigns, IntFlagsThatWouldTruncateExitTwo) {
+  // Regression guard for the long long -> int narrowing at the option
+  // sites: 2^32+1 parsed as long long would wrap to 1 through a bare
+  // static_cast<int>, silently running a 1-rep campaign. The range check
+  // on the wide value must reject it with a diagnostic naming the flag.
+  std::ostringstream out, err;
+  EXPECT_EQ(cli::run_campaign_command("table4", {"--reps", "4294967297"}, out,
+                                      err),
+            2);
+  EXPECT_NE(err.str().find("--reps"), std::string::npos);
+  std::ostringstream out7, err7;
+  EXPECT_EQ(cli::run_campaign_command("fig7", {"--decimate", "4294967297"},
+                                      out7, err7),
+            2);
+  EXPECT_NE(err7.str().find("--decimate"), std::string::npos);
 }
 
 TEST(Campaigns, SubcommandHelpExitsZero) {

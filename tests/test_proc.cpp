@@ -149,6 +149,79 @@ TEST(LineMux, DemultiplexesInterleavedWriters) {
   EXPECT_EQ(lines[1], (std::vector<std::string>{"b1"}));
 }
 
+TEST(LineMux, SplitWriteFloodDeliversOneIntactLine) {
+  // Regression: a newline-free flood of tiny writes used to rescan the
+  // whole accumulated buffer on every chunk (quadratic). The single-pass
+  // drain must still deliver the eventual line intact — this test pins the
+  // correctness of the scanned_-offset bookkeeping under exactly that
+  // pattern; 64 KiB of 1-byte writes also makes an accidental O(n^2)
+  // regression painfully visible in the suite's runtime.
+  constexpr std::size_t kFloodBytes = 64 * 1024;
+  util::ForkedWorker worker = util::fork_worker([](int fd) {
+    for (std::size_t i = 0; i < kFloodBytes; ++i) {
+      const char c = static_cast<char>('a' + (i % 26));
+      if (::write(fd, &c, 1) != 1) return 1;
+    }
+    const char nl = '\n';
+    if (::write(fd, &nl, 1) != 1) return 1;
+    return util::write_line(fd, "after") ? 0 : 1;
+  });
+  std::vector<std::string> lines;
+  util::LineMux mux({worker.progress.get()});
+  mux.run([&](std::size_t, std::string_view line) {
+    lines.emplace_back(line);
+  });
+  EXPECT_TRUE(util::wait_child(worker.pid).ok());
+  ASSERT_EQ(lines.size(), 2u);
+  ASSERT_EQ(lines[0].size(), kFloodBytes);
+  for (std::size_t i = 0; i < kFloodBytes; ++i) {
+    if (lines[0][i] != static_cast<char>('a' + (i % 26))) {
+      FAIL() << "flood line corrupted at byte " << i;
+    }
+  }
+  EXPECT_EQ(lines[1], "after");
+}
+
+TEST(LineMux, ReadErrorClosesSlotAndKeepsDrainingOthers) {
+  // Regression: a hard read error on one fd used to be indistinguishable
+  // from EOF. The slot must close (after logging) without hanging the mux
+  // or starving the healthy fds. A directory fd polls readable but read(2)
+  // fails with EISDIR — a deterministic hard error.
+  util::UniqueFd dir(::open(".", O_RDONLY | O_DIRECTORY));
+  ASSERT_TRUE(dir);
+  util::ForkedWorker worker = util::fork_worker([](int fd) {
+    return util::write_line(fd, "healthy") ? 0 : 1;
+  });
+  std::map<std::size_t, std::vector<std::string>> lines;
+  util::LineMux mux({dir.get(), worker.progress.get()});
+  mux.run([&](std::size_t index, std::string_view line) {
+    lines[index].emplace_back(line);
+  });
+  EXPECT_TRUE(util::wait_child(worker.pid).ok());
+  EXPECT_TRUE(lines[0].empty());
+  EXPECT_EQ(lines[1], (std::vector<std::string>{"healthy"}));
+}
+
+TEST(LineMux, InterruptedPredicateStopsTheLoop) {
+  // The hook the signal-forwarding coordinator uses: when the predicate
+  // turns true, run() must return promptly even though the fds are still
+  // open (the caller goes on to kill and reap its workers).
+  util::PipeFds pipe = util::make_pipe();
+  bool interrupted = false;
+  std::size_t delivered = 0;
+  ASSERT_TRUE(util::write_line(pipe.write_end.get(), "one"));
+  util::LineMux mux({pipe.read_end.get()});
+  mux.run(
+      [&](std::size_t, std::string_view) {
+        ++delivered;
+        interrupted = true;  // "signal" arrives after the first line
+      },
+      [&] { return interrupted; });
+  EXPECT_EQ(delivered, 1u);
+  // The write end is still open: without the predicate run() would block
+  // here forever waiting for EOF. Reaching this line is the assertion.
+}
+
 TEST(LineMux, SplitWritesReassemble) {
   // A line written byte-by-byte across many write(2) calls must still be
   // delivered as one line.

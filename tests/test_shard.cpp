@@ -362,6 +362,17 @@ TEST(ShardCli, UsageErrorsAreRejectedUpfront) {
                               temp_path("cli-empty/ck")})
                 .first,
             1);
+  // Values that would truncate through the long long -> int narrowing are
+  // rejected at parse time (the ArgParser range check fires on the wide
+  // value): 2^32+1 must exit 2, never wrap to --shards 1.
+  EXPECT_EQ(run_cli("table4", {"--shards", "4294967297", "--checkpoint",
+                               temp_path("x")})
+                .first,
+            2);
+  EXPECT_EQ(run_cli("merge", {"--shards", "4294967297", "--checkpoint",
+                              temp_path("x")})
+                .first,
+            2);
 }
 
 }  // namespace

@@ -25,7 +25,9 @@ exits 0 and the output lands in the benchmark artifact for human review.
 With --strict it exits 1 when a deterministic column drifts or a baseline
 row goes missing — those are code regressions, not noise — while NEW ROW
 (a row the baseline predates) stays a warning so adding a benchmark does
-not require a lockstep baseline update.
+not require a lockstep baseline update. Rows in NONDETERMINISTIC_ROWS
+(realtime_jitter: deadline-clock latency/jitter/overruns, all scheduler-
+dependent) are printed but never gate, even under --strict.
 """
 
 import json
@@ -36,6 +38,12 @@ TIMING_COLUMNS = {"wall_s", "sims_per_s", "points_per_s", "efficiency"}
 # Rows measuring an isolated kernel rather than a campaign slice, annotated
 # so a reader of the artifact does not misread ops/s as simulations/s.
 KERNEL_ROWS = {"Polyline::project", "PubSubBus::publish", "World::reset"}
+
+# Rows whose every column is scheduler-dependent (the realtime_jitter row
+# reuses the integer aggregate columns for overrun counts and the float
+# columns for latency/jitter microseconds — all of it moves with machine
+# load). The whole row is advisory: printed, never gating, even --strict.
+NONDETERMINISTIC_ROWS = {"realtime_jitter"}
 
 
 def load(path):
@@ -65,10 +73,11 @@ def diff_pair(baseline_path, fresh_path):
             continue
         deltas = []
         drift = []
+        advisory = name in NONDETERMINISTIC_ROWS
         for col, value in row.items():
             if col == key or col not in base:
                 continue
-            if col in TIMING_COLUMNS:
+            if col in TIMING_COLUMNS or advisory:
                 if isinstance(value, (int, float)) and isinstance(base[col], (int, float)):
                     # Always print the pair; a 0.0 baseline only suppresses
                     # the percentage (division), never the comparison.
@@ -78,6 +87,8 @@ def diff_pair(baseline_path, fresh_path):
                 drift.append(f"{col} {base[col]} -> {value}")
         line = "; ".join(deltas) if deltas else "no timing columns"
         tag = " [kernel row: ops and ops/s]" if name in KERNEL_ROWS else ""
+        if advisory:
+            tag += " [nondeterministic row: advisory only]"
         print(f"  {name}: {line}{tag}")
         if drift:
             print(f"  {name}: DETERMINISTIC COLUMNS DIFFER: {'; '.join(drift)}")

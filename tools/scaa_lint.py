@@ -7,8 +7,12 @@ determinism invariants the paper's campaign statistics rest on, which no
 generic tool knows about:
 
   nondeterminism      No rand()/srand()/std::random_device/time()/getenv()
-                      /gettimeofday() outside the blessed RNG-seeding layer
-                      (src/util/rng.*) and the CLI layer (src/cli/). Every
+                      /gettimeofday()/clock_gettime()/clock_nanosleep()
+                      outside the blessed RNG-seeding layer (src/util/rng.*),
+                      the deadline-clock layer (src/util/deadline_clock.* —
+                      the real-time executor's one wall-clock source, which
+                      by contract never feeds a clock value into the
+                      simulation), and the CLI layer (src/cli/). Every
                       simulation must be a pure function of (scenario,
                       strategy, seed); a stray entropy or wall-clock source
                       in library code silently breaks bit-reproducibility.
@@ -68,9 +72,11 @@ RULES = (
 
 # --- layer classification (repo-relative posix paths) -----------------------
 
-# Blessed entropy/wall-clock layers: the RNG seeding implementation and the
-# CLI (wall-clock timing for bench wall_s columns, seeds from argv).
-NONDET_BLESSED = ("src/cli/", "src/util/rng.")
+# Blessed entropy/wall-clock layers: the RNG seeding implementation, the
+# deadline clock (the real-time executor's pacing source — its clock values
+# never enter the simulation), and the CLI (wall-clock timing for bench
+# wall_s columns, seeds from argv).
+NONDET_BLESSED = ("src/cli/", "src/util/rng.", "src/util/deadline_clock.")
 
 # Paths whose loops feed deterministic aggregates, serialized bytes, or
 # report output: the fold-order rules apply here.
@@ -190,6 +196,9 @@ NONDET_PATTERNS = (
      "time()"),
     (re.compile(r"(?<![\w.>])(?:std\s*::\s*|::\s*)?getenv\s*\("), "getenv()"),
     (re.compile(r"(?<![\w.>])(?:::\s*)?gettimeofday\s*\("), "gettimeofday()"),
+    (re.compile(r"(?<![\w.>])(?:::\s*)?clock_gettime\s*\("), "clock_gettime()"),
+    (re.compile(r"(?<![\w.>])(?:::\s*)?clock_nanosleep\s*\("),
+     "clock_nanosleep()"),
 )
 
 STRAY_PATTERNS = (

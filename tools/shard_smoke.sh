@@ -9,7 +9,10 @@
 #   1. single process (the reference),
 #   2. sharded coordinator with SHARDS forked workers — with --kill, one
 #      worker is SIGKILLed mid-run, the coordinator must exit non-zero,
-#      and a --resume rerun finishes from the fsync'd chunks,
+#      and a --resume rerun finishes from the fsync'd chunks; --kill also
+#      runs a kill-COORDINATOR case (SIGTERM to the coordinator itself):
+#      it must forward the signal, reap every worker (no orphans holding
+#      slice flocks), and leave the checkpoint immediately resumable,
 #   3. `scaa_campaign merge` folding the per-shard checkpoint slices.
 # The merged report is additionally diffed with bench_diff.py --strict,
 # which exits non-zero on any deterministic-column drift.
@@ -59,6 +62,55 @@ if [ "$KILL" = "--kill" ]; then
   fi
   "$BIN" "${COMMON[@]}" --shards "$SHARDS" --checkpoint "$WORK/ck" --resume \
     --out "$WORK/sharded.json" >/dev/null
+
+  echo "shard_smoke: coordinator-kill case — SIGTERM to the coordinator"
+  # Fresh checkpoint stem: the point of this case is that after SIGTERM the
+  # coordinator forwards the signal, reaps every worker, and releases the
+  # slice flocks so an IMMEDIATE --resume succeeds (no orphan holds a lock).
+  set +e
+  "$BIN" "${COMMON[@]}" --shards "$SHARDS" --checkpoint "$WORK/ck_term" \
+    --out "$WORK/sharded_term.json" \
+    >"$WORK/coord_term.out" 2>"$WORK/coord_term.err" &
+  COORD=$!
+  sleep 0.5
+  kill -TERM "$COORD" 2>/dev/null
+  TERM_SENT=$?
+  wait "$COORD"
+  STATUS=$?
+  set -e
+  if [ "$TERM_SENT" -eq 0 ]; then
+    # Workers are fork-without-exec, so they share the coordinator's argv
+    # (which names the unique ck_term stem): any survivor shows up here.
+    # This assertion holds whether the coordinator aborted or won the race
+    # and finished — either way nothing may be left holding slice flocks.
+    ORPHANS=$(pgrep -f "$WORK/ck_term" 2>/dev/null || true)
+    if [ -n "$ORPHANS" ]; then
+      echo "shard_smoke: FAIL — orphaned workers after coordinator" \
+           "SIGTERM: $ORPHANS" >&2
+      exit 1
+    fi
+    if [ "$STATUS" -eq 0 ]; then
+      # SIGTERM landed in the shutdown window after the interrupt check:
+      # the run completed cleanly, nothing was orphaned. Benign race.
+      echo "shard_smoke: coordinator completed before acting on SIGTERM;" \
+           "continuing"
+    else
+      if ! grep -q "resume" "$WORK/coord_term.err"; then
+        echo "shard_smoke: FAIL — coordinator error lacks a --resume hint:" >&2
+        cat "$WORK/coord_term.err" >&2
+        exit 1
+      fi
+      echo "shard_smoke: coordinator failed as expected (status $STATUS)," \
+           "all workers reaped; resuming immediately"
+    fi
+  else
+    echo "shard_smoke: coordinator finished before the SIGTERM; continuing"
+  fi
+  # Immediate resume: must not trip over stale slice locks.
+  "$BIN" "${COMMON[@]}" --shards "$SHARDS" --checkpoint "$WORK/ck_term" \
+    --resume --out "$WORK/sharded_term.json" >/dev/null
+  cmp "$WORK/ref.json" "$WORK/sharded_term.json"
+  echo "shard_smoke: post-SIGTERM resumed output byte-identical to reference"
 else
   echo "shard_smoke: coordinator with $SHARDS workers"
   "$BIN" "${COMMON[@]}" --shards "$SHARDS" --checkpoint "$WORK/ck" \
