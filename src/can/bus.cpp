@@ -34,8 +34,50 @@ void CanBus::detach(std::uint64_t id) {
   erase_id(receivers_);
 }
 
+void CanBus::set_fault_hook(FaultHook hook) {
+  fault_hook_ = std::move(hook);
+  delayed_.reserve(kDelayQueueCapacity);
+}
+
 bool CanBus::send(CanFrame frame) {
   ++sent_;
+  if (fault_active_ && fault_hook_) {
+    const FaultVerdict verdict = fault_hook_(frame);
+    if (verdict.action == FaultVerdict::Action::kDrop) {
+      ++fault_dropped_;
+      return false;  // physical loss: interceptors and taps never see it
+    }
+    if (verdict.action == FaultVerdict::Action::kDelay) {
+      if (delayed_.size() < kDelayQueueCapacity) {
+        delayed_.push_back({frame, current_tick_ + verdict.delay_ticks});
+        return true;  // accepted; pump_delayed() will deliver it
+      }
+      ++delay_overflows_;  // queue full: degrade to immediate delivery
+    }
+  }
+  return dispatch(frame);
+}
+
+void CanBus::pump_delayed(std::uint64_t tick) {
+  current_tick_ = tick;
+  if (delayed_.empty()) return;
+  // Deliver due frames in send order. dispatch() may trigger new sends
+  // (which can append to delayed_ with a strictly later due tick), so the
+  // loop re-reads size() and copies each frame out before dispatching.
+  std::size_t kept = 0;
+  for (std::size_t i = 0; i < delayed_.size(); ++i) {
+    if (delayed_[i].due_tick <= tick) {
+      const CanFrame frame = delayed_[i].frame;
+      dispatch(frame);
+    } else {
+      if (kept != i) delayed_[kept] = delayed_[i];
+      ++kept;
+    }
+  }
+  delayed_.resize(kept);
+}
+
+bool CanBus::dispatch(CanFrame frame) {
   for (const auto& entry : interceptors_) {
     if (!entry.fn(frame)) {
       ++dropped_;

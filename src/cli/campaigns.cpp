@@ -26,6 +26,7 @@
 #include "exp/realtime.hpp"
 #include "exp/shard.hpp"
 #include "exp/tables.hpp"
+#include "fault/plan.hpp"
 #include "geom/polyline.hpp"
 #include "msg/bus.hpp"
 #include "road/builder.hpp"
@@ -858,6 +859,42 @@ void add_realtime_jitter_row(Report& report, std::ostream* progress) {
                      " ticks, " + std::to_string(rt.overruns) + " overruns");
 }
 
+/// The `faults` row of BENCH_table4.json: the attack-free campaign grid
+/// (Table IV's None row shape, same --reps/--seed) with a representative
+/// mid-intensity CAN-drop plan attached to every item, through the
+/// streaming runner. sims_per_s times the fault-injection hot path; the
+/// aggregate columns are deterministic functions of the grid and double as
+/// a seed-for-seed identity check on the fault layer itself, so
+/// bench_diff.py gates them like the strategy rows.
+void add_faults_row(Report& report, const CampaignOptions& options,
+                    std::ostream* progress) {
+  fault::FaultSpec spec;
+  spec.kind = fault::FaultKind::kCanDrop;
+  spec.rate = 0.05;
+  auto plan = std::make_shared<fault::FaultPlan>();
+  plan->add(spec);
+
+  const exp::CampaignConfig cc = campaign_config(options);
+  std::vector<exp::CampaignItem> grid =
+      exp::make_grid(attack::StrategyKind::kNone, /*strategic_values=*/false,
+                     /*driver_enabled=*/true, cc);
+  for (exp::CampaignItem& item : grid) item.fault_plan = plan;
+
+  const auto start = std::chrono::steady_clock::now();
+  const exp::Aggregate agg = exp::run_campaign_streaming(grid, cc);
+  const double wall = util::seconds_since(start);
+
+  report.add_row(
+      {std::string("faults"), ll(agg.simulations), wall,
+       wall > 0.0 ? static_cast<double>(agg.simulations) / wall : 0.0,
+       ll(agg.sims_with_alerts), ll(agg.sims_with_hazards),
+       ll(agg.sims_with_accidents), ll(agg.hazards_without_alerts),
+       ll(agg.fcw_activations), agg.lane_invasion_rate_mean, agg.tth_mean,
+       agg.tth_std, 0.0});
+  note(progress, "[bench] faults: " + std::to_string(agg.simulations) +
+                     " faulted sims in " + std::to_string(wall) + " s");
+}
+
 }  // namespace
 
 namespace {
@@ -988,6 +1025,7 @@ Report bench_report(const CampaignOptions& options, std::ostream* progress) {
   add_bus_kernel_row(report, progress);
   add_world_reset_kernel_row(report, progress);
   add_realtime_jitter_row(report, progress);
+  add_faults_row(report, options, progress);
   // The sharded aggregates are checked bit-exact against the strategy rows
   // above, so the same bench invocation that records throughput also
   // proves the coordinator/worker/merge path reproduces the campaign.
@@ -1045,6 +1083,186 @@ Report fig8_report(const CampaignOptions& options, std::ostream* progress) {
 
 namespace {
 
+/// One cell of the faults table: a family/intensity label plus the plan
+/// every simulation in the cell runs under (null = no injection).
+struct FaultCell {
+  std::string family;
+  std::string intensity;
+  std::shared_ptr<const fault::FaultPlan> plan;
+};
+
+/// The built-in sweep: every fault family at three intensities, bracketed
+/// by the no-fault baseline. The levels span "barely noticeable" to
+/// "clearly degraded" for each mechanism — rates are per-frame (CAN) or
+/// per-publish (sensor) probabilities, the bus-off levels are window
+/// lengths in the middle of the 50 s run, and the stall levels scale both
+/// trigger probability and stall length.
+std::vector<FaultCell> fault_sweep_cells() {
+  struct Level {
+    double rate;
+    double magnitude;
+    std::uint32_t ticks;
+    double t0;
+    double t1;
+  };
+  struct Family {
+    fault::FaultKind kind;
+    const char* name;
+    Level level[3];
+  };
+  static const Family kSweep[] = {
+      {fault::FaultKind::kCanDrop,
+       "can_drop",
+       {{0.01, 0.0, 0, 0.0, 1e9},
+        {0.05, 0.0, 0, 0.0, 1e9},
+        {0.20, 0.0, 0, 0.0, 1e9}}},
+      {fault::FaultKind::kCanDelay,
+       "can_delay",
+       {{0.01, 0.0, 2, 0.0, 1e9},
+        {0.05, 0.0, 5, 0.0, 1e9},
+        {0.20, 0.0, 10, 0.0, 1e9}}},
+      {fault::FaultKind::kCanCorrupt,
+       "can_corrupt",
+       {{0.005, 0.0, 0, 0.0, 1e9},
+        {0.02, 0.0, 0, 0.0, 1e9},
+        {0.10, 0.0, 0, 0.0, 1e9}}},
+      {fault::FaultKind::kCanBusOff,
+       "can_busoff",
+       {{0.0, 0.0, 0, 20.0, 20.5},
+        {0.0, 0.0, 0, 20.0, 22.0},
+        {0.0, 0.0, 0, 20.0, 25.0}}},
+      {fault::FaultKind::kSensorDropout,
+       "sensor_dropout",
+       {{0.05, 0.0, 0, 0.0, 1e9},
+        {0.20, 0.0, 0, 0.0, 1e9},
+        {0.50, 0.0, 0, 0.0, 1e9}}},
+      {fault::FaultKind::kSensorFreeze,
+       "sensor_freeze",
+       {{0.05, 0.0, 0, 0.0, 1e9},
+        {0.20, 0.0, 0, 0.0, 1e9},
+        {0.50, 0.0, 0, 0.0, 1e9}}},
+      {fault::FaultKind::kSensorNoise,
+       "sensor_noise",
+       {{1.0, 0.1, 0, 0.0, 1e9},
+        {1.0, 0.5, 0, 0.0, 1e9},
+        {1.0, 2.0, 0, 0.0, 1e9}}},
+      {fault::FaultKind::kEcuStall,
+       "ecu_stall",
+       {{0.001, 0.0, 5, 0.0, 1e9},
+        {0.005, 0.0, 10, 0.0, 1e9},
+        {0.02, 0.0, 25, 0.0, 1e9}}},
+  };
+  static const char* kLevelNames[3] = {"low", "med", "high"};
+
+  std::vector<FaultCell> cells;
+  cells.push_back({"none", "-", nullptr});
+  for (const Family& family : kSweep) {
+    for (int l = 0; l < 3; ++l) {
+      fault::FaultSpec spec;
+      spec.kind = family.kind;
+      spec.rate = family.level[l].rate;
+      spec.magnitude = family.level[l].magnitude;
+      spec.ticks = family.level[l].ticks;
+      spec.t0 = family.level[l].t0;
+      spec.t1 = family.level[l].t1;
+      auto plan = std::make_shared<fault::FaultPlan>();
+      plan->add(spec);
+      cells.push_back({family.name, kLevelNames[l], std::move(plan)});
+    }
+  }
+  return cells;
+}
+
+/// The cells one `faults` invocation runs: the built-in sweep, or — with
+/// --fault-plan — the no-fault baseline next to the custom plan. A parse
+/// failure (fault::FaultPlanError, carrying path:line) propagates to the
+/// CLI's generic handler and exits 1 like any other bad input file.
+std::vector<FaultCell> fault_table_cells(const CampaignOptions& options) {
+  if (options.fault_plan.empty()) return fault_sweep_cells();
+  auto plan = std::make_shared<fault::FaultPlan>(
+      fault::FaultPlan::parse_file(options.fault_plan));
+  std::vector<FaultCell> cells;
+  cells.push_back({"none", "-", nullptr});
+  cells.push_back({"custom", "plan", std::move(plan)});
+  return cells;
+}
+
+}  // namespace
+
+Report faults_report(const CampaignOptions& options, std::ostream* progress) {
+  const exp::CampaignConfig cc = campaign_config(options);
+  const std::vector<FaultCell> cells = fault_table_cells(options);
+
+  // Two legs per cell, on grids identical to Table IV's None and
+  // Context-Aware rows (same seeds, same chunk boundaries) with the cell's
+  // plan attached to every item. Attaching the plan changes each grid's
+  // fingerprint, so every cell checkpoints into its own slice file and a
+  // resume under a different plan is rejected by the checkpoint layer.
+  struct Leg {
+    std::string name;
+    std::vector<exp::CampaignItem> grid;
+  };
+  struct CellRun {
+    FaultCell cell;
+    Leg benign;
+    Leg attacked;
+  };
+  std::vector<CellRun> runs;
+  std::vector<std::pair<std::string, std::uint64_t>> names;
+  for (const FaultCell& cell : cells) {
+    CellRun run;
+    run.cell = cell;
+    const std::string tag = "faults " + cell.family + "-" + cell.intensity;
+    run.benign.name = tag + " benign";
+    run.benign.grid = exp::make_grid(attack::StrategyKind::kNone,
+                                     /*strategic_values=*/false,
+                                     /*driver_enabled=*/true, cc);
+    run.attacked.name = tag + " attack";
+    run.attacked.grid = exp::make_grid(attack::StrategyKind::kContextAware,
+                                       /*strategic_values=*/true,
+                                       /*driver_enabled=*/true, cc);
+    for (Leg* leg : {&run.benign, &run.attacked}) {
+      for (exp::CampaignItem& item : leg->grid) item.fault_plan = cell.plan;
+      names.emplace_back(leg->name, exp::grid_fingerprint(leg->grid));
+    }
+    runs.push_back(std::move(run));
+  }
+  if (!options.checkpoint.empty())
+    reject_slice_file_collisions(options.checkpoint, names);
+
+  Report report(
+      "faults: benign-fault robustness — false positives (attack off) and "
+      "detection under faults (Context-Aware attack on)",
+      {"family", "intensity", "benign_sims", "benign_alert_sims", "fp_rate",
+       "attack_sims", "attack_alert_sims", "detection_rate",
+       "attack_hazard_sims", "hazards_without_alerts", "tth_mean"});
+
+  auto run_leg = [&](const Leg& leg) {
+    const auto checkpoint = open_checkpoint<exp::CampaignCheckpoint>(
+        options, leg.name, leg.grid, progress);
+    return exp::run_campaign_streaming(leg.grid, cc,
+                                       decile_progress(progress, leg.name),
+                                       checkpoint.get());
+  };
+  for (const CellRun& run : runs) {
+    const exp::Aggregate benign = run_leg(run.benign);
+    const exp::Aggregate attacked = run_leg(run.attacked);
+    report.add_row({run.cell.family, run.cell.intensity,
+                    ll(benign.simulations), ll(benign.sims_with_alerts),
+                    benign.alert_fraction(), ll(attacked.simulations),
+                    ll(attacked.sims_with_alerts), attacked.alert_fraction(),
+                    ll(attacked.sims_with_hazards),
+                    ll(attacked.hazards_without_alerts), attacked.tth_mean});
+    note(progress,
+         "[faults] " + run.cell.family + "/" + run.cell.intensity +
+             " done: fp_rate " + std::to_string(benign.alert_fraction()) +
+             ", detection " + std::to_string(attacked.alert_fraction()));
+  }
+  return report;
+}
+
+namespace {
+
 /// Render the nonzero bins of a latency histogram as "<lo>us:<count>"
 /// pairs, space-joined — compact enough for one report cell, detailed
 /// enough to read the distribution shape (the last bin clamps, so its
@@ -1084,6 +1302,11 @@ Report run_report(const CampaignOptions& options, std::ostream* progress) {
 
   sim::WorldConfig cfg = exp::world_config_for(item);
   cfg.duration = options.duration;
+  // Parse before the world exists: a bad plan file must fail with its
+  // path:line diagnostic (exit 1) before any FIFO open could block.
+  if (!options.fault_plan.empty())
+    cfg.fault_plan = std::make_shared<const fault::FaultPlan>(
+        fault::FaultPlan::parse_file(options.fault_plan));
   sim::World world(cfg);
 
   std::optional<exp::FifoTap> tap;
@@ -1146,6 +1369,17 @@ Report run_report(const CampaignOptions& options, std::ostream* progress) {
     note(progress, "[run] tap: " + std::to_string(tap->frames_streamed()) +
                        " frames streamed" +
                        (tap->broken() ? " (reader hung up early)" : ""));
+  if (cfg.fault_plan) {
+    const sim::SimulationSummary s = world.summarize();
+    std::uint64_t fired = 0;
+    std::uint64_t suppressed = 0;
+    for (std::size_t k = 0; k < fault::kFaultKindCount; ++k) {
+      fired += s.faults_fired[k];
+      suppressed += s.faults_suppressed[k];
+    }
+    note(progress, "[run] faults: " + std::to_string(fired) + " fired, " +
+                       std::to_string(suppressed) + " suppressed");
+  }
   return report;
 }
 
@@ -1160,6 +1394,11 @@ const std::vector<CampaignCommand>& campaign_commands() {
        "attack-free Ego trajectory (imperfect lane centering)", &fig7_report},
       {"fig8", "Fig. 8",
        "attack start time x duration parameter space", &fig8_report},
+      {"faults", "robustness study",
+       "benign-fault false-positive table: fault family x intensity, attack "
+       "off vs. on (--fault-plan FILE runs a custom plan instead of the "
+       "sweep)",
+       &faults_report},
       {"bench", "Tables IV/V + Fig. 8, timed",
        "end-to-end campaign wall-clock benchmark (--campaign "
        "table4|table5|fig8 emits BENCH_<campaign>.json rows)",
@@ -1250,10 +1489,17 @@ int run_campaign_command(const std::string& name,
   // instant or a different workload shape, so they don't take the flags.
   const bool checkpointable =
       cmd->run == &table4_report || cmd->run == &table5_report ||
-      cmd->run == &bench_report;
+      cmd->run == &bench_report || cmd->run == &faults_report;
   const bool shardable = cmd->run == &table4_report;
   const bool is_merge = cmd->run == &table4_merge_report;
   const bool is_run = cmd->run == &run_report;
+  // Only the fault-aware workloads take --fault-plan: the paper tables
+  // (table4/table5/fig7/fig8) and their bench/merge counterparts must stay
+  // seed-for-seed identical to the published baselines, so ArgParser's
+  // unknown-flag rejection turns a stray --fault-plan there into a clean
+  // exit-2 usage error instead of a silently different experiment.
+  const bool takes_fault_plan =
+      cmd->run == &faults_report || cmd->run == &run_report;
   if (checkpointable) {
     args.add_string("--checkpoint", "",
                     "crash-safe checkpoint path stem; each campaign slice "
@@ -1302,6 +1548,11 @@ int run_campaign_command(const std::string& name,
     args.add_int("--scenario", 1, "paper scenario (1-4)", 1, 4);
     args.add_double("--duration", 50.0, "simulated seconds (paper: 50)");
   }
+  if (takes_fault_plan)
+    args.add_string("--fault-plan", "",
+                    "benign fault plan file (one '<kind> key=value...' line "
+                    "per fault; see src/fault/plan.hpp); faults: replaces "
+                    "the built-in sweep, run: injects the plan");
 
   try {
     args.parse_tokens(tokens);
@@ -1419,6 +1670,7 @@ int run_campaign_command(const std::string& name,
       return 2;
     }
   }
+  if (takes_fault_plan) options.fault_plan = args.get_string("--fault-plan");
   const Format format = parse_format(args.get_string("--format"));
 
   // Open the sink before running: campaigns can take hours at paper scale,

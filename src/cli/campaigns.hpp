@@ -121,6 +121,9 @@ struct CampaignOptions {
   std::string tap_fifo;     ///< stream WireFrame bytes here; empty = no tap
   int scenario = 1;         ///< paper scenario id (1..4)
   double duration = 50.0;   ///< simulated seconds
+  // `faults` and `run` only:
+  std::string fault_plan;   ///< benign fault plan file; empty = faults runs
+                            ///< its built-in sweep, run injects nothing
 };
 
 /// Filesystem-safe slice token: "Random-ST+DUR" -> "random-st-dur".
@@ -204,6 +207,21 @@ Report fig7_report(const CampaignOptions& options, std::ostream* progress);
 /// Fig. 8: the (start time x duration) parameter space; one row per point.
 /// @p options.reps scales the overlay runs per strategy (paper: 20).
 Report fig8_report(const CampaignOptions& options, std::ostream* progress);
+
+/// `scaa_campaign faults`: the benign-fault false-positive study. One row
+/// per (fault family, intensity) cell — the built-in sweep covers every
+/// fault::FaultKind at three intensities plus the no-fault baseline; a
+/// non-empty options.fault_plan replaces the sweep with {none, custom}
+/// where "custom" runs the parsed plan file. Each cell runs two legs
+/// through the streaming runner on identical grids to Table IV's None and
+/// Context-Aware rows (same seeds, same chunking) with the cell's plan
+/// attached to every item: the benign leg yields the false-positive rate
+/// (alert fraction with no attack present), the attacked leg the detection
+/// rate and hazards-without-alerts under the same faults. The plan is part
+/// of each grid's fingerprint, so checkpoint slices of different cells can
+/// never be confused and a resumed cell is bit-identical to an
+/// uninterrupted one.
+Report faults_report(const CampaignOptions& options, std::ostream* progress);
 
 /// End-to-end wall-clock benchmark. options.bench_campaign selects the
 /// workload: "table4" (default) times the Table IV campaign per strategy

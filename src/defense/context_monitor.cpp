@@ -4,9 +4,43 @@
 
 namespace scaa::defense {
 
+void ContextAwareMonitor::update_degraded(const MonitorInputs& in,
+                                          double dt) noexcept {
+  const bool stale = in.context_age > config_.stale_context_s;
+  const double hysteresis = config_.degrade_hysteresis_s;
+  if (stale) {
+    fresh_since_ = -1.0;
+    if (stale_since_ < 0.0) stale_since_ = clock_;
+    if (!degraded_ && clock_ - stale_since_ >= hysteresis) {
+      degraded_ = true;
+      ++degraded_entries_;
+    }
+  } else {
+    stale_since_ = -1.0;
+    if (fresh_since_ < 0.0) fresh_since_ = clock_;
+    if (degraded_ && clock_ - fresh_since_ >= hysteresis) degraded_ = false;
+  }
+  if (degraded_) degraded_time_ += dt;
+}
+
 bool ContextAwareMonitor::update(const MonitorInputs& in,
                                  double dt) noexcept {
   clock_ += dt;
+
+  // Graceful degradation (opt-in; stale_context_s == 0 keeps the paper's
+  // original code path bit-for-bit). While degraded the monitor withholds
+  // alarms and clears its persistence windows: a lossy bus starves the
+  // context inputs, whereas an attack keeps feeding them — so "stale
+  // context + unsafe-looking wire" reads as fault, not intrusion. An
+  // attack that persists across recovery re-accumulates its window.
+  if (config_.stale_context_s > 0.0) {
+    update_degraded(in, dt);
+    if (degraded_) {
+      for (double& since : unsafe_since_) since = -1.0;
+      return false;
+    }
+  }
+
   const attack::ContextMatch match = table_.match(in.context);
 
   // Which control actions are currently being exercised on the wire?

@@ -13,6 +13,8 @@
 /// Unlike the firmware envelope checks, this catches in-envelope values —
 /// exactly the gap the paper's strategic corruption exploits.
 
+#include <cstdint>
+
 #include "attack/context.hpp"
 #include "attack/context_table.hpp"
 
@@ -28,6 +30,17 @@ struct MonitorConfig {
                              ///< The legitimate planner's wander reverses
                              ///< within a second; an attack holds its
                              ///< direction until the hazard.
+
+  /// Graceful degradation under benign faults. 0 (the default) disables
+  /// the mechanism entirely — the paper's original behavior, bit-for-bit.
+  /// When > 0, the monitor enters a degraded ("stale input") mode once its
+  /// context inputs have been older than this for degrade_hysteresis_s
+  /// continuously; while degraded it withholds alarms and clears its
+  /// persistence windows — a lossy bus starves the context, an attack
+  /// keeps feeding it — and it recovers after the inputs stay fresh for
+  /// the same hysteresis.
+  double stale_context_s = 0.0;  ///< [s] context age that counts as stale
+  double degrade_hysteresis_s = 0.0;  ///< [s] dwell before entering/leaving
 };
 
 /// Inputs per control cycle.
@@ -36,6 +49,10 @@ struct MonitorInputs {
   double wire_accel = 0.0;        ///< accel command on the CAN bus [m/s^2]
   double wire_steer = 0.0;        ///< steering command on the CAN bus [rad]
   double nominal_steer = 0.0;     ///< road-curvature feed-forward [rad]
+  /// Age [s] of the oldest eavesdropped input feeding `context` (0 when the
+  /// caller does not track staleness). Compared against stale_context_s —
+  /// only meaningful when the config enables degradation.
+  double context_age = 0.0;
 };
 
 /// The monitor. Stateless rule evaluation + persistence windows.
@@ -48,12 +65,17 @@ class ContextAwareMonitor {
   bool update(const MonitorInputs& in, double dt) noexcept;
 
   /// Back to the freshly constructed state (same config): persistence
-  /// windows, clock, and alarm memory all clear.
+  /// windows, clock, alarm memory, and degraded-mode state all clear.
   void reset() noexcept {
     for (double& since : unsafe_since_) since = -1.0;
     clock_ = 0.0;
     alarm_time_ = -1.0;
     alarm_action_ = attack::UnsafeAction::kAcceleration;
+    degraded_ = false;
+    stale_since_ = -1.0;
+    fresh_since_ = -1.0;
+    degraded_entries_ = 0;
+    degraded_time_ = 0.0;
   }
 
   /// True once alarmed at least once.
@@ -65,13 +87,31 @@ class ContextAwareMonitor {
   /// Which unsafe action triggered the first alarm.
   attack::UnsafeAction alarm_action() const noexcept { return alarm_action_; }
 
+  /// True while the monitor is in the stale-input degraded mode.
+  bool degraded() const noexcept { return degraded_; }
+
+  /// Times the monitor entered degraded mode this run.
+  std::uint64_t degraded_entries() const noexcept { return degraded_entries_; }
+
+  /// Total time [s] spent degraded this run.
+  double degraded_time() const noexcept { return degraded_time_; }
+
  private:
+  void update_degraded(const MonitorInputs& in, double dt) noexcept;
+
   MonitorConfig config_;
   attack::ContextTable table_;
   double unsafe_since_[4] = {-1.0, -1.0, -1.0, -1.0};
   double clock_ = 0.0;
   double alarm_time_ = -1.0;
   attack::UnsafeAction alarm_action_ = attack::UnsafeAction::kAcceleration;
+  // Degraded-mode state; untouched (and alarm behavior unchanged) when
+  // config_.stale_context_s == 0.
+  bool degraded_ = false;
+  double stale_since_ = -1.0;
+  double fresh_since_ = -1.0;
+  std::uint64_t degraded_entries_ = 0;
+  double degraded_time_ = 0.0;
 };
 
 }  // namespace scaa::defense

@@ -1,5 +1,6 @@
 #include "defense/harness.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "util/units.hpp"
@@ -61,6 +62,17 @@ DefenseOutcome DefenseHarness::run(sim::SimulationSummary* summary_out) {
     mon.wire_steer = wire_steer_;
     mon.nominal_steer = std::atan(
         2.7 * world_->road().curvature_at(ego.s));
+    // Age of the oldest eavesdropped context input: each latched message
+    // is stamped with its publish step (mono_time, 10 ms steps). A lossy
+    // or faulted bus starves these latches; the monitor's degraded mode
+    // keys off exactly that staleness.
+    const double now = world_->time();
+    const auto age = [now](msg::MonoTime mono) {
+      return now - static_cast<double>(mono) * 0.01;
+    };
+    mon.context_age = std::max({age(inference_.gps().mono_time),
+                                age(inference_.model().mono_time),
+                                age(inference_.radar().mono_time)});
     monitor_.update(mon, dt);
   }
 
@@ -88,6 +100,8 @@ DefenseOutcome DefenseHarness::run(sim::SimulationSummary* summary_out) {
   out.detected_before_hazard =
       (out.invariant_alarmed || out.monitor_alarmed) &&
       (!summary.any_hazard || first_alarm < summary.first_hazard_time);
+  out.degraded_entries = monitor_.degraded_entries();
+  out.degraded_time = monitor_.degraded_time();
   return out;
 }
 

@@ -6,6 +6,7 @@
 /// bus, and read the car's own motion — no cooperation from the (possibly
 /// compromised) command path required.
 
+#include <cstdint>
 #include <memory>
 
 #include "attack/context.hpp"
@@ -28,6 +29,10 @@ struct DefenseOutcome {
   double monitor_latency = -1.0;
   /// Did any alarm precede the first hazard?
   bool detected_before_hazard = false;
+  /// Stale-input degraded mode (context_monitor.hpp); all zero unless the
+  /// monitor config enables it.
+  std::uint64_t degraded_entries = 0;
+  double degraded_time = 0.0;  ///< [s] total time spent degraded
 };
 
 /// Attaches both detectors to a world and steps it to completion.

@@ -74,6 +74,7 @@ sim::WorldConfig world_config_for(const CampaignItem& item) {
   cfg.attack.strategy = item.strategy;
   cfg.attack.type = item.type;
   cfg.attack.strategic_values = item.strategic_values;
+  cfg.fault_plan = item.fault_plan;
   return cfg;
 }
 

@@ -29,6 +29,10 @@ struct CampaignItem {
   int scenario_id = 1;       ///< 1..4
   double initial_gap = 100;  ///< [m]
   std::uint64_t seed = 1;    ///< unique per simulation
+  /// Benign-fault plan (shared, immutable; null = none — the historical
+  /// grids). Part of the grid identity: folded into grid_fingerprint so
+  /// resume/merge reject a checkpoint written under a different plan.
+  std::shared_ptr<const fault::FaultPlan> fault_plan;
 };
 
 /// Item + outcome.

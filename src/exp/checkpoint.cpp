@@ -143,11 +143,13 @@ std::string encode_summary(const sim::SimulationSummary& s) {
   put_d(out, s.sim_end_time);
   put_u(out, s.can_checksum_rejects);
   put_u(out, s.panda_frames_blocked);
+  for (const std::uint64_t v : s.faults_fired) put_u(out, v);
+  for (const std::uint64_t v : s.faults_suppressed) put_u(out, v);
   out.pop_back();  // trailing ','
   return out;
 }
 
-constexpr std::size_t kSummaryFields = 32;
+constexpr std::size_t kSummaryFields = 32 + 2 * fault::kFaultKindCount;
 
 class FieldReader {
  public:
@@ -209,6 +211,10 @@ bool decode_summary(std::string_view text, sim::SimulationSummary& s) noexcept {
       r.d(s.sim_end_time) && r.u(s.can_checksum_rejects) &&
       r.u(s.panda_frames_blocked);
   if (!ok) return false;
+  for (std::uint64_t& v : s.faults_fired)
+    if (!r.u(v)) return false;
+  for (std::uint64_t& v : s.faults_suppressed)
+    if (!r.u(v)) return false;
   s.first_hazard = static_cast<attack::HazardClass>(first_hazard);
   s.first_accident = static_cast<sim::AccidentClass>(first_accident);
   return true;
@@ -557,6 +563,12 @@ std::uint64_t grid_fingerprint(const std::vector<CampaignItem>& items) {
     hash.update(static_cast<std::uint64_t>(item.scenario_id));
     hash.update(double_bits(item.initial_gap));
     hash.update(item.seed);
+    // An attached FaultPlan changes every simulation under it, so it is
+    // part of the grid identity: resume/merge against a checkpoint written
+    // under a different plan (or none) must be rejected.
+    const bool has_plan = item.fault_plan && !item.fault_plan->empty();
+    hash.update(static_cast<std::uint64_t>(has_plan));
+    if (has_plan) hash.update(item.fault_plan->fingerprint());
   }
   return hash.digest();
 }

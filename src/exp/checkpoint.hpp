@@ -10,13 +10,13 @@
 /// **bit-identical** to an uninterrupted run — including the Welford
 /// floating-point moments — at any thread count.
 ///
-/// ## File format (version 1)
+/// ## File format (version 2)
 ///
 /// Line-oriented ASCII. Every line is `<payload> crc=<hex16>` where the crc
 /// is FNV-1a 64 of the payload (everything before " crc="). Line 1 is the
 /// header:
 ///
-///   scaa-checkpoint format=1 mode=<agg|results> fingerprint=<hex16>
+///   scaa-checkpoint format=2 mode=<agg|results> fingerprint=<hex16>
 ///       items=<n> chunks=<n> chunk_size=<n>            (one line)
 ///
 /// Every following line is one committed chunk, appended with a single
@@ -35,9 +35,10 @@
 ///
 /// The header fingerprint is FNV-1a over the format version, kCampaignChunk,
 /// the item count, and every field of every CampaignItem (doubles as bit
-/// patterns). A checkpoint therefore only ever resumes the *exact* grid it
-/// was started for: a different strategy, seed, repetition count, grid
-/// order, chunk size, or file-format revision all change the fingerprint
+/// patterns; an attached FaultPlan contributes its own digest). A
+/// checkpoint therefore only ever resumes the *exact* grid it was started
+/// for: a different strategy, seed, repetition count, grid order, chunk
+/// size, fault plan, or file-format revision all change the fingerprint
 /// and are rejected with CheckpointError. Bump kCheckpointFormatVersion on
 /// any change to the record layout *or* to simulation semantics that makes
 /// old partial results unsound to merge with new ones.
@@ -75,7 +76,9 @@ class CheckpointError : public std::runtime_error {
 
 /// Bump on any serialized-layout or simulation-semantics change (see file
 /// comment); folded into every fingerprint, so old files are rejected.
-inline constexpr std::uint32_t kCheckpointFormatVersion = 1;
+/// v2: SimulationSummary gained the per-kind fault counters and
+/// CampaignItem an optional FaultPlan (both serialized).
+inline constexpr std::uint32_t kCheckpointFormatVersion = 2;
 
 /// Fingerprint of a campaign grid: FNV-1a over the format version, chunk
 /// size, item count, and every CampaignItem field (doubles as bit

@@ -127,6 +127,17 @@ class FifoTap {
   /// True once a write failed; no further frames are streamed.
   bool broken() const noexcept { return broken_; }
 
+  /// Re-arm for a new run on the same FIFO: the frame counter restarts and
+  /// the broken-pipe latch clears, so the warn-once log fires again if the
+  /// (possibly new) reader hangs up too. Call alongside World::reset() —
+  /// without this, the second leased run in an arena would silently stay
+  /// muted after one EPIPE. The fd and subscriptions stay attached (the
+  /// tap is wiring, like every other bus attachment).
+  void reset() noexcept {
+    frames_ = 0;
+    broken_ = false;
+  }
+
  private:
   void write_frame(const msg::WireFrame& frame);
 

@@ -1,0 +1,170 @@
+#include "fault/injector.hpp"
+
+#include <algorithm>
+
+namespace scaa::fault {
+
+void FaultInjector::reset(std::shared_ptr<const FaultPlan> plan,
+                          util::Rng rng) noexcept {
+  plan_ = std::move(plan);
+  active_ = plan_ != nullptr && !plan_->empty();
+  rng_ = rng;
+  time_ = 0.0;
+  stall_remaining_ = 0;
+  counters_ = FaultCounters{};
+  last_gps_ = msg::GpsLocationExternal{};
+  last_model_ = msg::ModelV2{};
+  last_radar_ = msg::RadarState{};
+  have_last_gps_ = false;
+  have_last_model_ = false;
+  have_last_radar_ = false;
+}
+
+can::FaultVerdict FaultInjector::on_can_frame(can::CanFrame& frame) noexcept {
+  can::FaultVerdict verdict;
+  if (!active_) return verdict;
+  const FaultPlan& plan = *plan_;
+  for (std::size_t i = 0; i < plan.size(); ++i) {
+    const FaultSpec& spec = plan[i];
+    if (!spec.active_at(time_)) continue;
+    switch (spec.kind) {
+      case FaultKind::kCanBusOff:
+        // Bus-off is unconditional inside its window: no node transmits.
+        ++counters_.fired[fault_index(FaultKind::kCanBusOff)];
+        verdict.action = can::FaultVerdict::Action::kDrop;
+        return verdict;
+      case FaultKind::kCanDrop:
+        if (rng_.bernoulli(spec.rate)) {
+          ++counters_.fired[fault_index(FaultKind::kCanDrop)];
+          verdict.action = can::FaultVerdict::Action::kDrop;
+          return verdict;
+        }
+        break;
+      case FaultKind::kCanDelay:
+        if (rng_.bernoulli(spec.rate)) {
+          ++counters_.fired[fault_index(FaultKind::kCanDelay)];
+          verdict.action = can::FaultVerdict::Action::kDelay;
+          verdict.delay_ticks = std::max<std::uint32_t>(1, spec.ticks);
+          return verdict;
+        }
+        break;
+      case FaultKind::kCanCorrupt:
+        if (rng_.bernoulli(spec.rate)) {
+          if (frame.dlc > 0) {
+            const int bits = static_cast<int>(frame.dlc) * 8;
+            const int bit = rng_.uniform_int(0, bits - 1);
+            frame.data[static_cast<std::size_t>(bit / 8)] ^=
+                static_cast<std::uint8_t>(1u << (bit % 8));
+            ++counters_.fired[fault_index(FaultKind::kCanCorrupt)];
+          } else {
+            ++counters_.suppressed[fault_index(FaultKind::kCanCorrupt)];
+          }
+        }
+        break;  // a corrupted frame still travels (and may be dropped later)
+      default:
+        break;  // sensor/ECU kinds have no CAN opportunity
+    }
+  }
+  return verdict;
+}
+
+template <typename Msg>
+bool FaultInjector::sensor_gate(FaultTarget sensor, Msg& message, Msg& last,
+                                bool& have_last) noexcept {
+  const FaultPlan& plan = *plan_;
+  for (std::size_t i = 0; i < plan.size(); ++i) {
+    const FaultSpec& spec = plan[i];
+    if (!spec.active_at(time_)) continue;
+    if (spec.target != FaultTarget::kAll && spec.target != sensor) continue;
+    switch (spec.kind) {
+      case FaultKind::kSensorDropout:
+        if (rng_.bernoulli(spec.rate)) {
+          ++counters_.fired[fault_index(FaultKind::kSensorDropout)];
+          return false;  // publish suppressed; freeze memory unchanged
+        }
+        break;
+      case FaultKind::kSensorFreeze:
+        if (rng_.bernoulli(spec.rate)) {
+          if (have_last) {
+            // The stale mono_time is kept deliberately: staleness IS the
+            // degradation signal the defense monitor watches for.
+            message = last;
+            ++counters_.fired[fault_index(FaultKind::kSensorFreeze)];
+          } else {
+            ++counters_.suppressed[fault_index(FaultKind::kSensorFreeze)];
+          }
+        }
+        break;
+      case FaultKind::kSensorNoise:
+        if (rng_.bernoulli(spec.rate)) {
+          apply_noise(spec, message);
+          ++counters_.fired[fault_index(FaultKind::kSensorNoise)];
+        }
+        break;
+      default:
+        break;  // CAN/ECU kinds have no sensor opportunity
+    }
+  }
+  last = message;
+  have_last = true;
+  return true;
+}
+
+void FaultInjector::apply_noise(const FaultSpec& spec,
+                                msg::GpsLocationExternal& fix) noexcept {
+  fix.speed = std::max(
+      0.0, fix.speed + spec.bias + rng_.gaussian(0.0, spec.magnitude));
+}
+
+void FaultInjector::apply_noise(const FaultSpec& spec,
+                                msg::ModelV2& model) noexcept {
+  model.left_lane_line += spec.bias + rng_.gaussian(0.0, spec.magnitude);
+  model.right_lane_line += spec.bias + rng_.gaussian(0.0, spec.magnitude);
+}
+
+void FaultInjector::apply_noise(const FaultSpec& spec,
+                                msg::RadarState& state) noexcept {
+  if (!state.lead_valid) return;
+  state.lead_distance = std::max(
+      0.0, state.lead_distance + spec.bias +
+               rng_.gaussian(0.0, spec.magnitude));
+  state.lead_rel_speed += rng_.gaussian(0.0, spec.magnitude);
+}
+
+bool FaultInjector::on_gps(msg::GpsLocationExternal& fix) noexcept {
+  if (!active_) return true;
+  return sensor_gate(FaultTarget::kGps, fix, last_gps_, have_last_gps_);
+}
+
+bool FaultInjector::on_camera(msg::ModelV2& model) noexcept {
+  if (!active_) return true;
+  return sensor_gate(FaultTarget::kCamera, model, last_model_,
+                     have_last_model_);
+}
+
+bool FaultInjector::on_radar(msg::RadarState& state) noexcept {
+  if (!active_) return true;
+  return sensor_gate(FaultTarget::kRadar, state, last_radar_,
+                     have_last_radar_);
+}
+
+bool FaultInjector::ecu_stalled() noexcept {
+  if (!active_) return false;
+  if (stall_remaining_ > 0) {
+    --stall_remaining_;
+    return true;
+  }
+  const FaultPlan& plan = *plan_;
+  for (std::size_t i = 0; i < plan.size(); ++i) {
+    const FaultSpec& spec = plan[i];
+    if (spec.kind != FaultKind::kEcuStall || !spec.active_at(time_)) continue;
+    if (rng_.bernoulli(spec.rate)) {
+      ++counters_.fired[fault_index(FaultKind::kEcuStall)];
+      stall_remaining_ = spec.ticks > 0 ? spec.ticks - 1 : 0;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace scaa::fault

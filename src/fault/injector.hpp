@@ -1,0 +1,107 @@
+#pragma once
+
+/// @file injector.hpp
+/// Deterministic execution of a FaultPlan inside one World.
+///
+/// The injector is a by-value World member with fixed inline state, so the
+/// zero-alloc world lifecycle holds with a plan attached. All entropy comes
+/// from a dedicated stream forked from the world seed (stream id 17, the
+/// next free id after controls = 16); because Rng::fork() is const on the
+/// parent, the stream is forked even for plan-free worlds and a world
+/// without a plan draws exactly the streams it always did — bit-identity
+/// with the pre-fault baselines is structural, not tested-for luck.
+///
+/// Hook sites (wired once at World construction, gated per-run):
+///  * can::CanBus::send() consults on_can_frame() before dispatch
+///    (drop / delay / payload corruption / bus-off);
+///  * each sensor consults on_gps/on_camera/on_radar() immediately before
+///    its publish (dropout / freeze-last-value / bias+noise burst);
+///  * sim::World::mid_tick() consults ecu_stalled() before stepping the
+///    ADAS controls ECU.
+
+#include <array>
+#include <cstdint>
+#include <memory>
+
+#include "can/bus.hpp"
+#include "fault/plan.hpp"
+#include "msg/messages.hpp"
+#include "util/rng.hpp"
+
+namespace scaa::fault {
+
+/// Per-kind fired/suppressed counters, indexed by FaultKind. "Fired" counts
+/// faults that took effect; "suppressed" counts faults that triggered but
+/// could not apply (corrupting an empty payload, freezing before any value
+/// exists; the CAN delay-queue overflow case is counted by the bus and
+/// merged in World::summarize()).
+struct FaultCounters {
+  std::array<std::uint64_t, kFaultKindCount> fired{};
+  std::array<std::uint64_t, kFaultKindCount> suppressed{};
+};
+
+/// Dense counter index of a fault kind.
+constexpr std::size_t fault_index(FaultKind kind) noexcept {
+  return static_cast<std::size_t>(kind);
+}
+
+/// Executes a FaultPlan against one world. Inert (no RNG draws, no state
+/// changes) when no plan is attached.
+class FaultInjector {
+ public:
+  /// Re-arm for a new simulation: adopt @p plan (may be null) and the
+  /// world's fault stream. Counters, stall state, and freeze memory clear.
+  /// Allocation-free (shared_ptr adoption only touches the refcount).
+  void reset(std::shared_ptr<const FaultPlan> plan, util::Rng rng) noexcept;
+
+  /// Record the tick's sim time; all activation windows are evaluated
+  /// against it. Called at the top of World::mid_tick().
+  void begin_tick(double time) noexcept { time_ = time; }
+
+  /// True when a non-empty plan is attached.
+  bool active() const noexcept { return active_; }
+
+  /// CAN fault hook: may mutate @p frame (bit corruption) and returns the
+  /// verdict the bus applies (pass / drop / delay).
+  can::FaultVerdict on_can_frame(can::CanFrame& frame) noexcept;
+
+  /// Sensor fault hooks, called immediately before the publish. May mutate
+  /// the message (freeze / noise); returning false suppresses the publish
+  /// entirely (dropout).
+  bool on_gps(msg::GpsLocationExternal& fix) noexcept;
+  bool on_camera(msg::ModelV2& model) noexcept;
+  bool on_radar(msg::RadarState& state) noexcept;
+
+  /// ECU-stall hook: true when the controls ECU misses this tick. A
+  /// triggered stall holds for the spec's `ticks` consecutive ticks.
+  bool ecu_stalled() noexcept;
+
+  const FaultCounters& counters() const noexcept { return counters_; }
+
+ private:
+  template <typename Msg>
+  bool sensor_gate(FaultTarget sensor, Msg& message, Msg& last,
+                   bool& have_last) noexcept;
+
+  void apply_noise(const FaultSpec& spec,
+                   msg::GpsLocationExternal& fix) noexcept;
+  void apply_noise(const FaultSpec& spec, msg::ModelV2& model) noexcept;
+  void apply_noise(const FaultSpec& spec, msg::RadarState& state) noexcept;
+
+  std::shared_ptr<const FaultPlan> plan_;
+  bool active_ = false;
+  util::Rng rng_{0};
+  double time_ = 0.0;
+  std::uint32_t stall_remaining_ = 0;
+  FaultCounters counters_;
+
+  // Freeze memory: the last message each sensor actually published.
+  msg::GpsLocationExternal last_gps_{};
+  msg::ModelV2 last_model_{};
+  msg::RadarState last_radar_{};
+  bool have_last_gps_ = false;
+  bool have_last_model_ = false;
+  bool have_last_radar_ = false;
+};
+
+}  // namespace scaa::fault

@@ -90,7 +90,8 @@ void CameraLaneModel::step(std::uint64_t step_index,
   const auto latency_frames = static_cast<std::size_t>(
       config_.latency_steps / static_cast<double>(steps_per_frame_));
   if (delay_line_.size() > latency_frames) {
-    bus_->publish(delay_line_.front());
+    msg::ModelV2& front = delay_line_.front();
+    if (!fault_hook_ || fault_hook_(front)) bus_->publish(front);
     delay_line_.erase(delay_line_.begin());
   }
 }

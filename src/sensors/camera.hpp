@@ -15,6 +15,8 @@
 ///    paper's left-curved road parks the Ego slightly right of centre;
 ///  * degraded confidence on curves, and a small output latency.
 
+#include <functional>
+
 #include "msg/bus.hpp"
 #include "road/road.hpp"
 #include "util/rng.hpp"
@@ -68,6 +70,13 @@ class CameraLaneModel {
   /// Current value of the wandering bias [m] (exposed for tests).
   double bias() const noexcept { return bias_; }
 
+  /// Benign-fault hook consulted immediately before each publish — i.e. on
+  /// the frame leaving the latency delay line, not the one entering it
+  /// (may perturb the model output; false suppresses the publish). See
+  /// GpsModel::set_fault_hook.
+  using FaultHook = std::function<bool(msg::ModelV2&)>;
+  void set_fault_hook(FaultHook hook) { fault_hook_ = std::move(hook); }
+
  private:
   msg::ModelV2 make_measurement(std::uint64_t step_index,
                                 const vehicle::VehicleState& truth,
@@ -80,6 +89,7 @@ class CameraLaneModel {
   std::uint64_t steps_per_frame_;
   double bias_ = 0.0;
   std::vector<msg::ModelV2> delay_line_;
+  FaultHook fault_hook_;
 };
 
 }  // namespace scaa::sensors

@@ -39,6 +39,7 @@ void GpsModel::step(std::uint64_t step_index,
       std::max(0.0, truth.speed + rng_.gaussian(0.0, config_.speed_noise_std));
   fix.bearing = truth.pose.heading;
   fix.has_fix = true;
+  if (fault_hook_ && !fault_hook_(fix)) return;  // benign sensor fault
   bus_->publish(fix);
 }
 

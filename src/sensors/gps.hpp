@@ -3,6 +3,8 @@
 /// @file gps.hpp
 /// GPS sensor model publishing `gpsLocationExternal`.
 
+#include <functional>
+
 #include "msg/bus.hpp"
 #include "util/rng.hpp"
 #include "vehicle/vehicle.hpp"
@@ -32,11 +34,19 @@ class GpsModel {
   /// configured rate divides the step.
   void step(std::uint64_t step_index, const vehicle::VehicleState& truth);
 
+  /// Benign-fault hook consulted immediately before each publish; it may
+  /// perturb the fix, and returning false suppresses the publish. Wiring
+  /// (set once at World construction, survives reset); the injector
+  /// self-gates when no fault plan is attached.
+  using FaultHook = std::function<bool(msg::GpsLocationExternal&)>;
+  void set_fault_hook(FaultHook hook) { fault_hook_ = std::move(hook); }
+
  private:
   msg::PubSubBus* bus_;
   GpsConfig config_;
   util::Rng rng_;
   std::uint64_t steps_per_fix_;
+  FaultHook fault_hook_;
 };
 
 }  // namespace scaa::sensors

@@ -38,6 +38,7 @@ void RadarModel::step(std::uint64_t step_index,
     state.lead_speed = std::max(0.0, truth->lead_speed +
                                          rng_.gaussian(0.0, config_.range_rate_noise_std));
   }
+  if (fault_hook_ && !fault_hook_(state)) return;  // benign sensor fault
   bus_->publish(state);
 }
 

@@ -3,6 +3,7 @@
 /// @file radar.hpp
 /// Radar sensor model publishing `radarState`.
 
+#include <functional>
 #include <optional>
 
 #include "msg/bus.hpp"
@@ -42,11 +43,17 @@ class RadarModel {
   /// Advance one 10 ms step; publishes at the configured rate.
   void step(std::uint64_t step_index, const std::optional<LeadTruth>& truth);
 
+  /// Benign-fault hook consulted immediately before each publish (may
+  /// perturb the track; false suppresses it). See GpsModel::set_fault_hook.
+  using FaultHook = std::function<bool(msg::RadarState&)>;
+  void set_fault_hook(FaultHook hook) { fault_hook_ = std::move(hook); }
+
  private:
   msg::PubSubBus* bus_;
   RadarConfig config_;
   util::Rng rng_;
   std::uint64_t steps_per_update_;
+  FaultHook fault_hook_;
 };
 
 }  // namespace scaa::sensors

@@ -88,6 +88,22 @@ World::World(WorldConfig config)
   radar_ = std::make_unique<sensors::RadarModel>(msg_bus_, config_.radar,
                                                  util::Rng(0));
 
+  // --- benign-fault hooks -------------------------------------------------
+  // Wiring only (like taps, it survives reset); the injector self-gates,
+  // and the bus additionally skips its hook entirely for plan-free runs.
+  can_bus_.set_fault_hook([this](can::CanFrame& frame) {
+    return fault_injector_.on_can_frame(frame);
+  });
+  gps_->set_fault_hook([this](msg::GpsLocationExternal& fix) {
+    return fault_injector_.on_gps(fix);
+  });
+  camera_->set_fault_hook([this](msg::ModelV2& model) {
+    return fault_injector_.on_camera(model);
+  });
+  radar_->set_fault_hook([this](msg::RadarState& state) {
+    return fault_injector_.on_radar(state);
+  });
+
   // --- car gateway: decodes command frames into actuator requests --------
   // Handles resolved here, once; the receiver then decodes every frame
   // through the flat path (no heap, no string keys) at 100 Hz.
@@ -242,6 +258,14 @@ void World::reset_in_place() {
   env_rng_ = rng.fork(15);
   steer_disturbance_ = 0.0;
 
+  // --- benign-fault injection ----------------------------------------------
+  // Stream 17 (next free id after controls = 16) is forked unconditionally:
+  // fork() is const on the parent, so a plan-free world draws exactly the
+  // streams it did before the fault layer existed — baseline bit-identity
+  // is structural.
+  fault_injector_.reset(config_.fault_plan, rng.fork(17));
+  can_bus_.set_fault_active(fault_injector_.active());
+
   // --- driver & monitor ----------------------------------------------------
   *driver_ = driver::DriverModel(config_.driver, config_.ego_params.wheelbase);
   *monitor_ = SafetyMonitor(road, config_.monitor, /*ego_lane=*/0);
@@ -366,11 +390,24 @@ void World::publish_sensors(double road_curvature, double road_heading) {
 }
 
 void World::mid_tick(PendingProjections& pend) {
+  // Benign-fault phase: stamp the tick time for activation windows and
+  // deliver CAN frames whose injected delay expires this tick — before the
+  // sensors publish and the ECU steps, so a frame delayed N ticks is seen
+  // exactly N ticks late by every consumer. Gated: plan-free worlds take
+  // their historical path untouched.
+  if (fault_injector_.active()) {
+    fault_injector_.begin_tick(time_);
+    can_bus_.pump_delayed(step_index_);
+  }
+
   publish_sensors(tick_curvature_, tick_heading_);
 
   if (config_.attack_enabled) attack_engine_->step(time_, config_.dt);
 
-  controls_->step(step_index_, config_.dt);
+  // An ECU stall fault silences the controls for this tick: no planner
+  // update, no command frames on the bus (the gateway holds its last
+  // actuator values — exactly what a real stalled ECU looks like).
+  if (!fault_injector_.ecu_stalled()) controls_->step(step_index_, config_.dt);
 
   // Driver observation & possible takeover. The driver judges the commands
   // the car is executing (pedal/wheel positions) and the physical motion.
@@ -554,6 +591,12 @@ SimulationSummary World::summarize() const {
   s.sim_end_time = time_;
   s.can_checksum_rejects = gateway_rejects_;
   if (panda_) s.panda_frames_blocked = panda_->stats().frames_blocked;
+
+  s.faults_fired = fault_injector_.counters().fired;
+  s.faults_suppressed = fault_injector_.counters().suppressed;
+  // Delay verdicts the bus degraded to immediate delivery (queue full).
+  s.faults_suppressed[fault::fault_index(fault::FaultKind::kCanDelay)] +=
+      can_bus_.delay_overflows();
   return s;
 }
 

@@ -17,6 +17,7 @@
 #include "can/database.hpp"
 #include "can/packer.hpp"
 #include "driver/driver_model.hpp"
+#include "fault/injector.hpp"
 #include "msg/bus.hpp"
 #include "panda/safety.hpp"
 #include "road/builder.hpp"
@@ -59,6 +60,11 @@ struct WorldConfig {
   /// simulations; when null, the World builds its own private copies.
   std::shared_ptr<const road::Road> road;
   std::shared_ptr<const can::Database> db;
+
+  /// Benign-fault plan (fault/plan.hpp), shared like the assets above.
+  /// Null (the default) means no fault injection at all — the simulation
+  /// is bit-identical to one built before the fault layer existed.
+  std::shared_ptr<const fault::FaultPlan> fault_plan;
 
   vehicle::VehicleParams ego_params;
   adas::ControlsConfig controls;
@@ -104,6 +110,10 @@ struct SimulationSummary {
   double sim_end_time = 0.0;
   std::uint64_t can_checksum_rejects = 0;
   std::uint64_t panda_frames_blocked = 0;  ///< only when panda_enforced
+  // benign fault injection, indexed by fault::FaultKind (all zero when no
+  // fault plan is attached)
+  std::array<std::uint64_t, fault::kFaultKindCount> faults_fired{};
+  std::array<std::uint64_t, fault::kFaultKindCount> faults_suppressed{};
 };
 
 /// The world. Lifecycle: construct, run() once, then reset() to re-arm the
@@ -271,6 +281,10 @@ class World {
 
   util::Rng env_rng_{0};
   double steer_disturbance_ = 0.0;
+
+  // Benign-fault execution (by value: fixed inline state, so the
+  // zero-alloc lifecycle holds with a plan attached). Inert without one.
+  fault::FaultInjector fault_injector_;
 
   // Road queries hoisted in begin_tick at the Ego's pre-step arc length,
   // consumed by mid_tick (they span the projection barrier between the

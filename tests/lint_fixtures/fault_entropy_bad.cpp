@@ -1,0 +1,31 @@
+// scaa-lint-fixture: as=src/fault/side_channel.cpp expect=fault-entropy
+//
+// Fault-layer code seeding its own entropy: every site below must be
+// flagged. The one legal randomness source in src/fault/ is the stream
+// World forks for the injector (stream id 17, received by value through
+// FaultInjector::reset); any stream seeded here is invisible to the world
+// seed, so fault firings stop replaying and fresh-vs-reset identity dies.
+//
+// NOT COMPILED: lint fixture only; tools/scaa_lint.py --self-test reads it.
+#include <cstdint>
+#include <random>
+
+#include "util/rng.hpp"
+
+namespace scaa::fault {
+
+double bad_std_engine(std::uint64_t seed) {
+  std::mt19937_64 gen(seed);                  // flagged: std::<random>
+  std::uniform_real_distribution<double> u;   // flagged: std::<random>
+  return u(gen);
+}
+
+double bad_private_stream(std::uint64_t seed) {
+  return util::Rng{seed}.uniform();           // flagged: fresh Rng temporary
+}
+
+std::uint64_t bad_hand_rolled_fork(std::uint64_t state) {
+  return util::splitmix64(state);             // flagged: splitmix64()
+}
+
+}  // namespace scaa::fault

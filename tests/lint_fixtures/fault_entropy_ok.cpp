@@ -1,0 +1,25 @@
+// scaa-lint-fixture: as=src/fault/forked_stream.cpp expect=none
+//
+// The legitimate shapes: holding the forked stream as a member, receiving
+// it by value as a parameter, and drawing from it. The identifier between
+// `Rng` and the initializer is what separates "receives the world's fork"
+// from "seeds a stream of its own".
+//
+// NOT COMPILED: lint fixture only; tools/scaa_lint.py --self-test reads it.
+#include "util/rng.hpp"
+
+namespace scaa::fault {
+
+class GoodInjector {
+ public:
+  // Receives the stream World forked (stream id 17) — clean.
+  void reset(util::Rng rng) noexcept { rng_ = rng; }
+
+  bool roll(double rate) noexcept { return rng_.bernoulli(rate); }
+  double perturb(double mag) noexcept { return rng_.gaussian(0.0, mag); }
+
+ private:
+  util::Rng rng_{0};  // placeholder until reset() installs the fork — clean
+};
+
+}  // namespace scaa::fault

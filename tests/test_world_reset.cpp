@@ -15,6 +15,7 @@
 
 #include "exp/arena.hpp"
 #include "exp/campaign.hpp"
+#include "fault/plan.hpp"
 #include "sim/world.hpp"
 #include "sim/world_batch.hpp"
 #include "util/alloc_counter.hpp"
@@ -64,6 +65,8 @@ void expect_summary_eq(const SimulationSummary& a, const SimulationSummary& b,
   EXPECT_EQ(a.sim_end_time, b.sim_end_time);
   EXPECT_EQ(a.can_checksum_rejects, b.can_checksum_rejects);
   EXPECT_EQ(a.panda_frames_blocked, b.panda_frames_blocked);
+  EXPECT_EQ(a.faults_fired, b.faults_fired);
+  EXPECT_EQ(a.faults_suppressed, b.faults_suppressed);
 }
 
 CampaignItem make_item(attack::StrategyKind strategy, attack::AttackType type,
@@ -434,6 +437,44 @@ TEST(WorldReset, SingleResetRunIsZeroAlloc) {
   const std::uint64_t after =
       util::g_allocation_count.load(std::memory_order_relaxed);
   EXPECT_EQ(after - before, 0u);
+}
+
+TEST(WorldReset, FaultedResetRunIsZeroAlloc) {
+  // The fault layer rides inside the simulation hot path, so the zero-alloc
+  // lifecycle contract extends to it: with a multi-fault plan attached
+  // (including the delayed-frame queue, whose capacity is reserved at
+  // construction), a warm reset()+run() cycle must not touch the heap.
+  const WorldAssets assets = WorldAssets::make_default();
+  sim::WorldConfig cfg = exp::world_config_for(
+      make_item(attack::StrategyKind::kContextAware,
+                attack::AttackType::kAccelerationSteering, 2, 60.0, 13),
+      assets);
+  cfg.fault_plan =
+      std::make_shared<const fault::FaultPlan>(fault::FaultPlan::parse_text(
+          "can_drop rate=0.05\n"
+          "can_delay rate=0.05 ticks=3\n"
+          "can_corrupt rate=0.02\n"
+          "sensor_freeze rate=0.1\n"
+          "sensor_noise rate=0.5 mag=0.3\n"
+          "ecu_stall rate=0.005 ticks=10\n",
+          "zero-alloc"));
+  World world(cfg);
+  world.run();
+  world.reset(cfg);
+  world.run();  // second run warms any lazily grown buffers
+
+  world.reset(cfg);
+  const std::uint64_t before =
+      util::g_allocation_count.load(std::memory_order_relaxed);
+  world.reset(cfg);
+  const SimulationSummary summary = world.run();
+  const std::uint64_t after =
+      util::g_allocation_count.load(std::memory_order_relaxed);
+  EXPECT_EQ(after - before, 0u)
+      << "fault-injected steady state must not touch the heap";
+  std::uint64_t fired = 0;
+  for (const std::uint64_t f : summary.faults_fired) fired += f;
+  EXPECT_GT(fired, 0u) << "the plan must actually exercise the injector";
 }
 
 }  // namespace

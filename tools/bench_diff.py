@@ -39,6 +39,13 @@ TIMING_COLUMNS = {"wall_s", "sims_per_s", "points_per_s", "efficiency"}
 # so a reader of the artifact does not misread ops/s as simulations/s.
 KERNEL_ROWS = {"Polyline::project", "PubSubBus::publish", "World::reset"}
 
+# Rows that run a campaign slice with benign fault injection attached (the
+# faults row: the attack-free grid under a mid-intensity CAN-drop plan).
+# Their aggregate columns are seed-for-seed deterministic and gate exactly
+# like the strategy rows; the annotation just tells the artifact reader the
+# numbers are expected to differ from the fault-free None row.
+FAULT_ROWS = {"faults"}
+
 # Rows whose every column is scheduler-dependent (the realtime_jitter row
 # reuses the integer aggregate columns for overrun counts and the float
 # columns for latency/jitter microseconds — all of it moves with machine
@@ -87,6 +94,8 @@ def diff_pair(baseline_path, fresh_path):
                 drift.append(f"{col} {base[col]} -> {value}")
         line = "; ".join(deltas) if deltas else "no timing columns"
         tag = " [kernel row: ops and ops/s]" if name in KERNEL_ROWS else ""
+        if name in FAULT_ROWS:
+            tag += " [fault-injection row: aggregates still gate]"
         if advisory:
             tag += " [nondeterministic row: advisory only]"
         print(f"  {name}: {line}{tag}")

@@ -37,6 +37,15 @@ generic tool knows about:
                       merges); a naked `sum += x` loop reintroduces
                       fold-order-dependent float results.
 
+  fault-entropy       src/fault/ draws every random draw from the
+                      injector's forked stream (World stream id 17, handed
+                      in by World/reset). Constructing a util::Rng
+                      temporary, calling splitmix64(), or reaching for
+                      std::<random> machinery inside src/fault/ seeds a
+                      second stream, which silently decouples fault
+                      firings from the world seed and breaks the
+                      fresh-vs-reset / no-plan bit-identity guarantees.
+
 Input is the build tree's compile_commands.json (CMake exports it —
 CMAKE_EXPORT_COMPILE_COMMANDS is ON in this repo) plus every header under
 src/. Findings print as `path:line: [rule] message` and make the exit code
@@ -68,6 +77,7 @@ RULES = (
     "unordered-iteration",
     "stray-output",
     "naked-accumulation",
+    "fault-entropy",
 )
 
 # --- layer classification (repo-relative posix paths) -----------------------
@@ -96,6 +106,10 @@ ACCUMULATOR_IMPLS = ("src/util/stats.", "src/util/serial.")
 
 # The serialized logging sink: the one legal std::cerr writer.
 LOG_SINK = "src/util/logging."
+
+# The fault-injection layer: all of its entropy comes from the one Rng
+# World forks for it (stream id 17); it must never seed a stream itself.
+FAULT_LAYER = "src/fault/"
 
 
 def in_layer(path: str, prefixes) -> bool:
@@ -385,11 +399,41 @@ def check_naked_accumulation(path, stripped, findings):
             ))
 
 
+# `Rng` directly followed by `(` or `{` is a temporary / unnamed seeded
+# construction; a named declaration (`util::Rng rng_{0};`, an `util::Rng rng`
+# parameter) has an identifier between the type and the initializer and is
+# how the injector legitimately *receives* its forked stream.
+FAULT_ENTROPY_PATTERNS = (
+    (re.compile(r"\bstd\s*::\s*(?:mt19937(?:_64)?|minstd_rand0?|"
+                r"default_random_engine|knuth_b|ranlux\w+|\w+_distribution)\b"),
+     "std::<random> machinery"),
+    (re.compile(r"\bRng\s*[({]"), "a fresh util::Rng stream"),
+    (re.compile(r"\bsplitmix64\s*\("), "splitmix64()"),
+)
+
+
+def check_fault_entropy(path, stripped, findings):
+    if not path.startswith(FAULT_LAYER):
+        return
+    for lineno, line in enumerate(stripped.splitlines(), start=1):
+        for pattern, what in FAULT_ENTROPY_PATTERNS:
+            if pattern.search(line):
+                findings.append((
+                    path, lineno, "fault-entropy",
+                    f"{what} seeded inside src/fault/: the fault layer must "
+                    f"draw all entropy from the injector's forked stream "
+                    f"(World stream id 17); a second stream decouples fault "
+                    f"firings from the world seed and breaks the "
+                    f"fresh-vs-reset bit-identity guarantee",
+                ))
+
+
 CHECKS = {
     "nondeterminism": check_nondeterminism,
     "unordered-iteration": check_unordered_iteration,
     "stray-output": check_stray_output,
     "naked-accumulation": check_naked_accumulation,
+    "fault-entropy": check_fault_entropy,
 }
 
 
@@ -513,6 +557,9 @@ def self_test(fixtures_dir: Path, verbose: bool) -> int:
                         probe.append(rule)
                     if rule in ("unordered-iteration", "naked-accumulation") \
                             and in_layer(virtual_path, FOLD_PATHS):
+                        probe.append(rule)
+                    if rule == "fault-entropy" and virtual_path.startswith(
+                            FAULT_LAYER):
                         probe.append(rule)
                     seen_clean |= set(probe)
         else:

@@ -15,7 +15,12 @@
 #      slice flocks), and leave the checkpoint immediately resumable,
 #   3. `scaa_campaign merge` folding the per-shard checkpoint slices.
 # The merged report is additionally diffed with bench_diff.py --strict,
-# which exits non-zero on any deterministic-column drift.
+# which exits non-zero on any deterministic-column drift. A final case
+# splices a slice written under a fault-injection plan (`scaa_campaign
+# faults --fault-plan ...`) over one fault-free shard slice and asserts
+# the merge refuses the mix with a fingerprint mismatch — fault plans are
+# folded into the grid fingerprint exactly so mixed-provenance merges die
+# loudly instead of averaging faulted and fault-free statistics.
 set -euo pipefail
 
 BIN=${1:?usage: shard_smoke.sh SCAA_CAMPAIGN_BIN WORKDIR [--kill]}
@@ -132,5 +137,39 @@ if command -v python3 >/dev/null 2>&1; then
 else
   echo "shard_smoke: python3 not found; skipping bench_diff --strict check"
 fi
+
+echo "shard_smoke: foreign fault-plan slice must be rejected by merge"
+cat > "$WORK/benign_plan.txt" <<'EOF'
+can_drop rate=0.05
+EOF
+"$BIN" faults --fault-plan "$WORK/benign_plan.txt" --reps "$REPS" \
+  --seed "$SEED" --format json --checkpoint "$WORK/ck_fault" \
+  --out "$WORK/faults.json" >/dev/null
+# The faulted benign leg reuses table4's None grid (same seeds, same shape,
+# same chunking); only the attached FaultPlan differs, so its slice file is
+# compatible in every way EXCEPT the grid fingerprint in the header. Splice
+# it over one shard slice of the fault-free None row: the merge must refuse
+# to fold faulted chunks into a fault-free campaign.
+TARGET=$(ls "$WORK"/ck.table4-no-attacks-*".s1of$SHARDS" | head -n 1)
+cp "$WORK"/ck_fault.faults-custom-plan-benign-* "$TARGET"
+set +e
+"$BIN" merge --reps "$REPS" --seed "$SEED" --format json \
+  --shards "$SHARDS" --checkpoint "$WORK/ck" \
+  --out "$WORK/merged_bad.json" >/dev/null 2>"$WORK/merge_bad.err"
+STATUS=$?
+set -e
+if [ "$STATUS" -eq 0 ]; then
+  echo "shard_smoke: FAIL — merge accepted a slice written under a" \
+       "different fault plan" >&2
+  exit 1
+fi
+if ! grep -qi "fingerprint" "$WORK/merge_bad.err"; then
+  echo "shard_smoke: FAIL — merge rejection does not mention the" \
+       "fingerprint mismatch:" >&2
+  cat "$WORK/merge_bad.err" >&2
+  exit 1
+fi
+echo "shard_smoke: merge rejected the foreign fault-plan slice" \
+     "(status $STATUS, fingerprint mismatch)"
 
 echo "shard_smoke: OK"
